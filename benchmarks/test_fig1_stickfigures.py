@@ -1,0 +1,54 @@
+"""Figure 1 — two sets of 3 protocentroids generate the 9 stickfigure
+centroids.
+
+Fits Khatri-Rao-k-Means with the sum aggregator on the stickfigures dataset
+and verifies the paper's headline example: the 9 clusters are summarized by
+6 stored images with no loss in clustering accuracy, and the protocentroids
+split into an "upper-body" set and a "lower-body" set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import print_header, scaled
+
+from repro import KhatriRaoKMeans
+from repro.datasets import load_dataset
+from repro.metrics import summary_parameter_count, unsupervised_clustering_accuracy
+
+
+def test_fig1_protocentroids_summarize_stickfigures(benchmark):
+    ds = load_dataset("stickfigures", scale=scaled(0.3), random_state=0)
+
+    def run():
+        return KhatriRaoKMeans(
+            (3, 3), aggregator="sum", n_init=20, random_state=0
+        ).fit(ds.data)
+
+    model = benchmark.pedantic(run, rounds=1, iterations=1)
+    accuracy = unsupervised_clustering_accuracy(ds.labels, model.labels_)
+    kr_params = model.parameter_count()
+    full_params = summary_parameter_count(ds.n_features, n_centroids=9)
+
+    print_header("Figure 1: stickfigures, 2 sets of 3 protocentroids (sum)")
+    print(f"clusters represented : {model.n_clusters}")
+    print(f"stored vectors       : {model.n_protocentroids} (vs 9 centroids)")
+    print(f"parameters           : {kr_params} vs {full_params} "
+          f"({kr_params / full_params:.2f}x)")
+    print(f"unsupervised ACC     : {accuracy:.3f}")
+
+    assert model.n_protocentroids == 6
+    assert kr_params == full_params * 6 // 9
+    assert accuracy > 0.95  # the paper reports a perfect summary
+
+    # Upper/lower decomposition: protocentroids in one set vary only in the
+    # half of the image their set explains (up to the shared torso).
+    side = int(np.sqrt(ds.n_features))
+    set_variances = []
+    for theta in model.protocentroids_:
+        images = theta.reshape(-1, side, side)
+        top_var = float(np.var(images[:, : side // 2], axis=0).mean())
+        bottom_var = float(np.var(images[:, side // 2 :], axis=0).mean())
+        set_variances.append((top_var, bottom_var))
+    ratios = [top / (bottom + 1e-12) for top, bottom in set_variances]
+    assert max(ratios) > 1.0 > min(ratios)  # one set explains each half

@@ -1,0 +1,91 @@
+"""Figure 2 — relative change in parameters and accuracy from the Khatri-Rao
+paradigm, for k-Means, DKM and IDEC on Blobs and an optdigits-like dataset.
+
+For each baseline algorithm, reports the percentage change in parameter
+count and in unsupervised clustering accuracy when switching to the
+Khatri-Rao variant at the same number of represented clusters.
+
+Expected shape (paper): parameter changes are strongly negative (25-85%
+reductions) while accuracy changes stay near zero.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import print_header, scaled
+
+from repro import KhatriRaoKMeans, KMeans
+from repro.core import balanced_factor_pair
+from repro.datasets import load_dataset
+from repro.deep import DKM, IDEC, KhatriRaoDKM, KhatriRaoIDEC
+from repro.metrics import unsupervised_clustering_accuracy as acc
+
+DEEP_CONFIG = dict(
+    hidden_dims=(64, 32, 10),
+    pretrain_epochs=20,
+    clustering_epochs=10,
+    batch_size=256,
+    kmeans_n_init=10,
+)
+
+
+def _relative(before: float, after: float) -> float:
+    return 100.0 * (after - before) / before
+
+
+def _run(ds):
+    X, y = ds.data, ds.labels
+    k = ds.n_labels
+    h1, h2 = balanced_factor_pair(k)
+    rows = []
+
+    km = KMeans(k, n_init=3, random_state=0).fit(X)
+    kr_km = KhatriRaoKMeans((h1, h2), aggregator="sum", n_init=3,
+                            random_state=0).fit(X)
+    rows.append((
+        "k-Means",
+        _relative(km.parameter_count(), kr_km.parameter_count()),
+        _relative(acc(y, km.labels_) + 1e-9, acc(y, kr_km.labels_) + 1e-9),
+    ))
+
+    dkm = DKM(k, random_state=0, **DEEP_CONFIG).fit(X)
+    kr_dkm = KhatriRaoDKM((h1, h2), random_state=0, **DEEP_CONFIG).fit(X)
+    rows.append((
+        "DKM",
+        _relative(dkm.parameter_count(), kr_dkm.parameter_count()),
+        _relative(acc(y, dkm.labels_) + 1e-9, acc(y, kr_dkm.labels_) + 1e-9),
+    ))
+
+    idec = IDEC(k, random_state=0, **DEEP_CONFIG).fit(X)
+    kr_idec = KhatriRaoIDEC((h1, h2), random_state=0, **DEEP_CONFIG).fit(X)
+    rows.append((
+        "IDEC",
+        _relative(idec.parameter_count(), kr_idec.parameter_count()),
+        _relative(acc(y, idec.labels_) + 1e-9, acc(y, kr_idec.labels_) + 1e-9),
+    ))
+    return rows
+
+
+def _report(name, rows):
+    print_header(f"Figure 2: relative change (%) of KR variants on {name}")
+    print(f"{'algorithm':<10}{'Δ params %':>12}{'Δ accuracy %':>14}")
+    for algo, d_params, d_acc in rows:
+        print(f"{algo:<10}{d_params:>12.1f}{d_acc:>14.1f}")
+
+
+def test_fig2_blobs(benchmark):
+    ds = load_dataset("blobs", scale=scaled(0.12), random_state=0)
+    rows = benchmark.pedantic(lambda: _run(ds), rounds=1, iterations=1)
+    _report("Blobs", rows)
+    for algo, d_params, d_acc in rows:
+        assert d_params < 0.0, f"{algo} should reduce parameters"
+        assert d_acc > -60.0, f"{algo} accuracy should not collapse"
+
+
+def test_fig2_optdigits(benchmark):
+    ds = load_dataset("optdigits", scale=scaled(0.08), random_state=0)
+    rows = benchmark.pedantic(lambda: _run(ds), rounds=1, iterations=1)
+    _report("optdigits", rows)
+    for algo, d_params, d_acc in rows:
+        assert d_params < 0.0
+        assert d_acc > -60.0

@@ -1,0 +1,71 @@
+"""Figure 7 — inertia as a function of the number of protocentroid sets.
+
+Khatri-Rao-k-Means with a fixed budget of 12 vectors split into
+p ∈ {2, 3, 4} sets (6+6 → 36, 4+4+4 → 64, 3+3+3+3 → 81 representable
+centroids), against k-Means with h1+h2 = 12 and h1·h2 = 36 centroids and the
+naïve approach, on Blobs and Classification with 100 ground-truth clusters.
+
+Expected shape: KR inertia decreases (with diminishing returns) as p grows,
+and with p >= 3 it can undercut even k-Means with 36 centroids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import print_header, scaled
+
+from repro import KhatriRaoKMeans, KMeans, NaiveKhatriRao
+from repro.datasets import make_blobs, make_classification
+
+BUDGET = 12
+N_INIT = 4
+
+
+def _sweep(X):
+    results = {}
+    for p in (2, 3, 4):
+        # Equal split of the budget: p sets of 12/p protocentroids
+        # (the balanced allocation Section 8 shows is optimal).
+        cards = tuple([BUDGET // p] * p)
+        best = np.inf
+        for aggregator in ("sum", "product"):
+            model = KhatriRaoKMeans(
+                cards, aggregator=aggregator, n_init=N_INIT, random_state=0
+            ).fit(X)
+            best = min(best, model.inertia_)
+        results[p] = best
+    results["kmeans(12)"] = KMeans(12, n_init=N_INIT, random_state=0).fit(X).inertia_
+    results["kmeans(36)"] = KMeans(36, n_init=N_INIT, random_state=0).fit(X).inertia_
+    results["naive-x(6,6)"] = NaiveKhatriRao(
+        (6, 6), aggregator="product", n_init=N_INIT, random_state=0
+    ).fit(X).inertia_
+    return results
+
+
+def _report(name, results):
+    print_header(f"Figure 7: {name}, inertia vs #protocentroid sets (12 vectors)")
+    for p in (2, 3, 4):
+        cards = tuple([BUDGET // p] * p)
+        print(f"KR p={p} {str(cards):>14} ({(BUDGET // p) ** p:>3} centroids): "
+              f"{results[p]:.1f}")
+    for key in ("kmeans(12)", "kmeans(36)", "naive-x(6,6)"):
+        print(f"{key:>24}: {results[key]:.1f}")
+
+
+def test_fig7_blobs(benchmark):
+    X, _ = make_blobs(max(600, int(5000 * scaled(0.3))), n_features=2,
+                      n_clusters=100, random_state=0)
+    results = benchmark.pedantic(lambda: _sweep(X), rounds=1, iterations=1)
+    _report("Blobs", results)
+    # More sets => more representable centroids => lower (or equal) inertia.
+    assert results[4] <= results[2] * 1.10
+    # All KR configurations beat k-means with the same 12 vectors.
+    assert min(results[2], results[3], results[4]) < results["kmeans(12)"]
+
+
+def test_fig7_classification(benchmark):
+    X, _ = make_classification(max(600, int(5000 * scaled(0.3))),
+                               n_features=10, n_clusters=100, random_state=0)
+    results = benchmark.pedantic(lambda: _sweep(X), rounds=1, iterations=1)
+    _report("Classification", results)
+    assert min(results[2], results[3], results[4]) < results["kmeans(12)"]

@@ -1,0 +1,99 @@
+"""Figure 8 — runtime and peak memory by n, m and k on Blobs.
+
+Sweeps the number of data points, features and centroids (reduced from the
+paper's ranges) and measures wall-clock runtime and tracemalloc peak memory
+for: naïve two-phase, k-Means(h1+h2), k-Means(h1·h2), KR-k-Means sum and
+product.  k-Means mirrors the KR implementation (both share the distance
+kernels), as the paper does for fairness.
+
+Expected shape (paper): KR-k-Means carries a near-constant runtime overhead
+over k-Means(h1·h2); its memory tracks k-Means(h1+h2) while k-Means(h1·h2)
+grows multiplicatively with the centroid count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import print_header, scaled
+
+from repro import KhatriRaoKMeans, KMeans, NaiveKhatriRao
+from repro.datasets import make_blobs
+from repro.utils import Timer, track_peak_memory
+
+N_INIT = 1
+MAX_ITER = 20
+
+
+def _measure(model, X):
+    with track_peak_memory() as mem:
+        with Timer() as timer:
+            model.fit(X)
+    return timer.elapsed, mem["peak_mib"]
+
+
+def _algorithms(h):
+    return {
+        "naive-x": lambda: NaiveKhatriRao((h, h), aggregator="product",
+                                          n_init=N_INIT, max_iter=MAX_ITER,
+                                          random_state=0),
+        "kmeans(h1+h2)": lambda: KMeans(2 * h, n_init=N_INIT,
+                                        max_iter=MAX_ITER, random_state=0),
+        "kmeans(h1h2)": lambda: KMeans(h * h, n_init=N_INIT,
+                                       max_iter=MAX_ITER, random_state=0),
+        "kr-+": lambda: KhatriRaoKMeans((h, h), aggregator="sum",
+                                        n_init=N_INIT, max_iter=MAX_ITER,
+                                        mode="memory", random_state=0),
+        "kr-x": lambda: KhatriRaoKMeans((h, h), aggregator="product",
+                                        n_init=N_INIT, max_iter=MAX_ITER,
+                                        mode="memory", random_state=0),
+    }
+
+
+def _sweep(configs):
+    rows = []
+    for label, n, m, h in configs:
+        X, _ = make_blobs(n, n_features=m, n_clusters=min(100, n // 4),
+                          random_state=0)
+        measurements = {}
+        for name, factory in _algorithms(h).items():
+            measurements[name] = _measure(factory(), X)
+        rows.append((label, measurements))
+    return rows
+
+
+def _report(title, rows):
+    print_header(f"Figure 8: {title}")
+    methods = ["naive-x", "kmeans(h1+h2)", "kmeans(h1h2)", "kr-+", "kr-x"]
+    header = f"{'config':<14} | " + " | ".join(f"{m:>22}" for m in methods)
+    print(header + "    (runtime s / peak MiB)")
+    print("-" * len(header))
+    for label, measurements in rows:
+        print(f"{label:<14} | " + " | ".join(
+            f"{measurements[m][0]:>10.3f}/{measurements[m][1]:>10.1f}"
+            for m in methods))
+
+
+def test_fig8_scaling_in_data_points(benchmark):
+    base = max(400, int(4000 * scaled(0.25)))
+    configs = [(f"n={n}", n, 20, 6) for n in (base, 2 * base, 3 * base)]
+    rows = benchmark.pedantic(lambda: _sweep(configs), rounds=1, iterations=1)
+    _report("runtime/memory by #data points (h=6)", rows)
+    for _, m in rows:
+        assert m["kr-+"][0] > 0.0
+
+
+def test_fig8_scaling_in_features(benchmark):
+    base = max(100, int(1000 * scaled(0.2)))
+    configs = [(f"m={m}", 500, m, 6) for m in (base, 2 * base, 3 * base)]
+    rows = benchmark.pedantic(lambda: _sweep(configs), rounds=1, iterations=1)
+    _report("runtime/memory by #features (n=500, h=6)", rows)
+
+
+def test_fig8_scaling_in_centroids(benchmark):
+    configs = [(f"k={h*h}", 2000, 10, h) for h in (8, 12, 16)]
+    rows = benchmark.pedantic(lambda: _sweep(configs), rounds=1, iterations=1)
+    _report("runtime/memory by #centroids (n=2000, m=10)", rows)
+    # Memory shape: at the largest k, the materialized k-means(h1h2) centroid
+    # state should not be cheaper than memory-mode KR.
+    _, largest = rows[-1]
+    assert largest["kr-+"][1] <= largest["kmeans(h1h2)"][1] * 1.5

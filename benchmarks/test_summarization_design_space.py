@@ -1,0 +1,40 @@
+"""Extra benchmark — the summarization design space (paper Section 2).
+
+Positions Khatri-Rao-k-Means within the broader summarization strategies the
+paper's related-work section names (sampling, dimensionality reduction,
+centroid-based clustering) at a matched stored-vector budget, on data with
+many underlying clusters.
+
+Expected shape: on many-cluster data, KR-k-Means achieves the lowest summed
+squared error at the budget; D²-sampling beats uniform sampling; the PCA
+sketch (a subspace, not prototypes) cannot capture multimodal structure.
+"""
+
+from __future__ import annotations
+
+from conftest import print_header, scaled
+
+from repro.applications import compare_summaries
+from repro.datasets import make_blobs
+
+
+def test_summarization_design_space(benchmark):
+    X, _ = make_blobs(max(800, int(3000 * scaled(0.5))), n_features=4,
+                      n_clusters=36, cluster_std=0.3, random_state=0)
+
+    rows = benchmark.pedantic(
+        lambda: compare_summaries(X, (6, 6), n_init=10, random_state=0),
+        rounds=1,
+        iterations=1,
+    )
+    print_header("Summarization design space (budget: 12 stored vectors)")
+    print(f"{'method':<28}{'params':>8}{'sq. error':>14}")
+    for row in rows:
+        print(f"{row.method:<28}{row.parameters:>8}{row.inertia:>14.1f}")
+
+    by_name = {row.method: row for row in rows}
+    kr = by_name["khatri-rao-k-means(6, 6)"]
+    assert kr.inertia < by_name["uniform-sample"].inertia
+    assert kr.inertia < by_name["d2-sample"].inertia
+    assert kr.inertia < by_name["k-means(12)"].inertia
+    assert by_name["d2-sample"].inertia < by_name["uniform-sample"].inertia

@@ -1,0 +1,25 @@
+"""Table 1 — characteristics of the datasets used in the experiments.
+
+Regenerates the dataset summary (points, features, labels, imbalance ratio)
+from the registry's synthetic stand-ins.  At full scale the counts match the
+paper's Table 1; benchmarks load a reduced scale, preserving features,
+label counts and imbalance ratios.
+"""
+
+from __future__ import annotations
+
+from conftest import print_header, scaled
+
+from repro.datasets import dataset_summary_table
+
+
+def test_table1_dataset_characteristics(benchmark):
+    table = benchmark.pedantic(
+        lambda: dataset_summary_table(scale=scaled(0.05), random_state=0),
+        rounds=1,
+        iterations=1,
+    )
+    print_header("Table 1: dataset characteristics (reduced scale)")
+    print(table)
+    lines = table.splitlines()
+    assert len(lines) == 15  # header + rule + 13 datasets

@@ -1,0 +1,131 @@
+"""Table 2 — Khatri-Rao-k-Means vs k-Means on all 13 datasets.
+
+For every dataset: KR-k-Means with sum and product aggregators using two
+balanced sets with ``h1 · h2 = k`` (the ground-truth cluster count), against
+k-Means with ``h1 + h2`` centroids (equal parameters) and ``h1 · h2``
+centroids (the optimistic bound).  Reports ACC / ARI / NMI, inertia
+normalized by the k-Means(h1·h2) inertia, and the parameter ratio.
+
+Expected shape (paper): KR variants often (not always) beat the
+equal-parameter k-Means; k-Means(h1·h2) is generally best but stores
+1/params-ratio times more vectors; on the KR-structured datasets
+(stickfigures, double_mnist) KR matches the optimistic bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import print_header, scaled
+
+from repro import KhatriRaoKMeans, KMeans
+from repro.core import balanced_factor_pair
+from repro.datasets import dataset_names, load_dataset
+from repro.metrics import (
+    adjusted_rand_index,
+    normalized_mutual_information,
+    unsupervised_clustering_accuracy,
+)
+
+N_INIT = 3
+#: the KR-structured datasets need the paper's 20 restarts to reach their
+#: (reachable) global optimum; the rest use a reduced budget.
+N_INIT_PER_DATASET = {"stickfigures": 20}
+#: per-dataset sample-count scales keeping the harness CPU-friendly.
+SCALES = {
+    "mnist": 0.03,
+    "double_mnist": 0.05,
+    "har": 0.06,
+    "olivetti_faces": 1.0,
+    "cmu_faces": 1.0,
+    "symbols": 0.5,
+    "stickfigures": 0.5,
+    "optdigits": 0.15,
+    "classification": 0.15,
+    "chameleon": 0.08,
+    "soybean_large": 1.0,
+    "blobs": 0.15,
+    "r15": 1.0,
+}
+
+
+def _metrics(y, labels):
+    return (
+        adjusted_rand_index(y, labels),
+        unsupervised_clustering_accuracy(y, labels),
+        normalized_mutual_information(y, labels),
+    )
+
+
+def _run_dataset(name: str):
+    ds = load_dataset(name, scale=scaled(SCALES[name]), random_state=0)
+    k = ds.n_labels
+    h1, h2 = balanced_factor_pair(k)
+    if h2 == 1:  # prime k: fall back to the nearest non-trivial split
+        h1, h2 = balanced_factor_pair(k + 1)
+    X, y = ds.data, ds.labels
+    n_init = N_INIT_PER_DATASET.get(name, N_INIT)
+
+    kr_sum = KhatriRaoKMeans((h1, h2), aggregator="sum", n_init=n_init,
+                             random_state=0).fit(X)
+    kr_prod = KhatriRaoKMeans((h1, h2), aggregator="product", n_init=n_init,
+                              random_state=0).fit(X)
+    km_small = KMeans(h1 + h2, n_init=N_INIT, random_state=0).fit(X)
+    km_full = KMeans(h1 * h2, n_init=N_INIT, random_state=0).fit(X)
+
+    base_inertia = km_full.inertia_ or 1.0
+    row = {
+        "dataset": name,
+        "h": (h1, h2),
+        "kr_sum": _metrics(y, kr_sum.labels_) + (kr_sum.inertia_ / base_inertia,),
+        "kr_prod": _metrics(y, kr_prod.labels_) + (kr_prod.inertia_ / base_inertia,),
+        "km_small": _metrics(y, km_small.labels_) + (km_small.inertia_ / base_inertia,),
+        "km_full": _metrics(y, km_full.labels_) + (1.0,),
+        "params_ratio": (h1 + h2) / (h1 * h2),
+    }
+    return row
+
+
+def test_table2_all_datasets(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [_run_dataset(name) for name in dataset_names()],
+        rounds=1,
+        iterations=1,
+    )
+    print_header("Table 2: KR-k-Means vs k-Means (ARI/ACC/NMI/inertia-ratio)")
+    header = (f"{'dataset':<16}{'h1,h2':>7} | "
+              f"{'KR-+':>22} | {'KR-x':>22} | {'kM(h1+h2)':>22} | "
+              f"{'kM(h1h2)':>22} | {'params':>6}")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        cells = []
+        for key in ("kr_sum", "kr_prod", "km_small", "km_full"):
+            ari, acc, nmi, ratio = row[key]
+            cells.append(f"{ari:.2f}/{acc:.2f}/{nmi:.2f}/{ratio:5.2f}")
+        print(f"{row['dataset']:<16}{str(row['h']):>7} | "
+              + " | ".join(f"{c:>22}" for c in cells)
+              + f" | {row['params_ratio']:>6.2f}")
+
+    by_name = {row["dataset"]: row for row in rows}
+
+    # Shape 1: the optimistic bound km(h1h2) has the lowest inertia ratio.
+    for row in rows:
+        assert row["km_full"][3] <= min(row["kr_sum"][3], row["kr_prod"][3]) + 1e-9
+
+    # Shape 2: on the KR-structured stickfigures dataset, KR-+ matches the
+    # optimistic bound (paper: inertia ratio 1.00, ACC 1.0).
+    stick = by_name["stickfigures"]
+    assert stick["kr_sum"][3] < 1.2
+    assert stick["kr_sum"][1] > 0.9
+
+    # Shape 3: KR beats the equal-parameter baseline on a majority of the
+    # datasets where many clusters must be represented.
+    wins = sum(
+        1 for row in rows
+        if min(row["kr_sum"][3], row["kr_prod"][3]) <= row["km_small"][3] * 1.01
+    )
+    assert wins >= len(rows) // 2
+
+    # Shape 4: every KR summary stores fewer parameters.
+    for row in rows:
+        assert row["params_ratio"] < 1.0

@@ -1,0 +1,132 @@
+"""Table 3 — deep clustering (DKM / IDEC) vs Khatri-Rao variants.
+
+For every dataset: DKM and IDEC with ``k`` latent centroids against
+Khatri-Rao DKM / IDEC with two balanced protocentroid sets (sum aggregator,
+as the paper recommends for deep clustering) and a Hadamard-compressed
+autoencoder.  Reports ACC / ARI / NMI and the parameter ratio (compressed /
+dense).
+
+Expected shape (paper): the KR variants stay within a few points of their
+bases on ACC while storing a strictly smaller parameter count (ratios
+0.15-0.9 in the paper, depending on architecture/data size).
+
+Runtime note: the numpy autodiff substrate makes full-paper epochs
+infeasible, so this harness uses small encoders and few epochs; the
+comparison remains like-for-like because every algorithm shares the recipe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import print_header, scaled
+
+from repro.core import balanced_factor_pair
+from repro.datasets import dataset_names, load_dataset
+from repro.deep import DKM, IDEC, KhatriRaoDKM, KhatriRaoIDEC
+from repro.metrics import (
+    adjusted_rand_index,
+    normalized_mutual_information,
+    unsupervised_clustering_accuracy,
+)
+
+CONFIG = dict(
+    hidden_dims=(64, 32, 10),
+    pretrain_epochs=20,
+    clustering_epochs=10,
+    batch_size=256,
+    kmeans_n_init=10,
+)
+SCALES = {
+    "mnist": 0.015,
+    "double_mnist": 0.04,
+    "har": 0.04,
+    "olivetti_faces": 1.0,
+    "cmu_faces": 0.7,
+    "symbols": 0.4,
+    "stickfigures": 0.45,
+    "optdigits": 0.08,
+    "classification": 0.1,
+    "chameleon": 0.04,
+    "soybean_large": 0.8,
+    "blobs": 0.1,
+    "r15": 0.7,
+}
+
+
+def _metrics(y, labels):
+    return (
+        adjusted_rand_index(y, labels),
+        unsupervised_clustering_accuracy(y, labels),
+        normalized_mutual_information(y, labels),
+    )
+
+
+def _run_dataset(name: str):
+    ds = load_dataset(name, scale=scaled(SCALES[name]), random_state=0)
+    k = ds.n_labels
+    h1, h2 = balanced_factor_pair(k)
+    if h2 == 1:
+        h1, h2 = balanced_factor_pair(k + 1)
+    X, y = ds.data, ds.labels
+
+    results = {}
+    dkm = DKM(k, random_state=0, **CONFIG).fit(X)
+    kr_dkm = KhatriRaoDKM((h1, h2), random_state=0, **CONFIG).fit(X)
+    idec = IDEC(k, random_state=0, **CONFIG).fit(X)
+    kr_idec = KhatriRaoIDEC((h1, h2), random_state=0, **CONFIG).fit(X)
+
+    results["dataset"] = name
+    results["idec"] = _metrics(y, idec.labels_)
+    results["kr_idec"] = _metrics(y, kr_idec.labels_)
+    results["dkm"] = _metrics(y, dkm.labels_)
+    results["kr_dkm"] = _metrics(y, kr_dkm.labels_)
+    results["params_ratio"] = kr_dkm.result().parameter_ratio
+    return results
+
+
+def test_table3_all_datasets(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [_run_dataset(name) for name in dataset_names()],
+        rounds=1,
+        iterations=1,
+    )
+    print_header("Table 3: deep clustering vs Khatri-Rao variants (ARI/ACC/NMI)")
+    header = (f"{'dataset':<16} | {'IDEC':>16} | {'KR-IDEC':>16} | "
+              f"{'DKM':>16} | {'KR-DKM':>16} | {'params':>6}")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        cells = []
+        for key in ("idec", "kr_idec", "dkm", "kr_dkm"):
+            ari, acc, nmi = row[key]
+            cells.append(f"{ari:.2f}/{acc:.2f}/{nmi:.2f}")
+        print(f"{row['dataset']:<16} | "
+              + " | ".join(f"{c:>16}" for c in cells)
+              + f" | {row['params_ratio']:>6.2f}")
+
+    # Shape 1: every KR variant stores strictly fewer parameters.
+    for row in rows:
+        assert row["params_ratio"] < 1.0
+
+    # Shape 2: on average across datasets, the ACC gap between KR variants
+    # and their bases is small ("negligible loss in accuracy").
+    dkm_gap = np.mean([row["dkm"][1] - row["kr_dkm"][1] for row in rows])
+    idec_gap = np.mean([row["idec"][1] - row["kr_idec"][1] for row in rows])
+    assert dkm_gap < 0.15
+    assert idec_gap < 0.15
+
+    # Shape 3: KR variants match or beat their base on several datasets —
+    # the paper's "implicit regularization" observation.
+    kr_wins = sum(
+        1 for row in rows
+        if row["kr_dkm"][1] >= row["dkm"][1] - 0.02
+        or row["kr_idec"][1] >= row["idec"][1] - 0.02
+    )
+    assert kr_wins >= 4
+
+    # Shape 4: stickfigures is bimodal at this reduced budget — the joint
+    # optimum (ACC 1.0, as the paper reports with 20 pipeline restarts and
+    # 1000-epoch compressed pretraining) or a 6-of-9-cluster local minimum
+    # (ACC ≈ 0.67).  Either way the summary keeps most of the structure.
+    stick = next(row for row in rows if row["dataset"] == "stickfigures")
+    assert stick["kr_dkm"][1] >= 0.6

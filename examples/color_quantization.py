@@ -1,0 +1,71 @@
+"""Case study (Figure 9): more succinct codebooks for color quantization.
+
+Quantizes a photo-like RGB image with three codebooks built from the same
+parameter budget of 12 stored vectors:
+
+* 12 random pixels,
+* 12 k-Means centroids,
+* a Khatri-Rao-k-Means codebook — two sets of 6 proto-colors whose
+  elementwise products span 36 representative colors.
+
+Run:  python examples/color_quantization.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.applications import (
+    quantize_khatri_rao_kmeans,
+    quantize_kmeans,
+    quantize_random,
+)
+from repro.datasets import make_quantization_image
+
+
+def main() -> None:
+    image = make_quantization_image(120, 160, random_state=0)
+    print(f"image: {image.shape[0]}x{image.shape[1]} RGB, "
+          f"{image.shape[0] * image.shape[1]} pixels")
+    print("codebooks fitted on a 1000-pixel subsample "
+          "(as in the paper's setup)\n")
+
+    results = [
+        quantize_random(image, 12, random_state=0),
+        quantize_kmeans(image, 12, fit_pixels=1000, n_init=20, random_state=0),
+        quantize_khatri_rao_kmeans(image, (6, 6), fit_pixels=1000, n_init=20,
+                                   random_state=0),
+    ]
+
+    header = f"{'method':<24}{'colors':>8}{'stored vectors':>16}{'inertia':>12}"
+    print(header)
+    print("-" * len(header))
+    for result in results:
+        print(f"{result.method:<24}{result.codebook.shape[0]:>8}"
+              f"{result.stored_vectors:>16}{result.inertia:>12.1f}")
+
+    kr = results[-1]
+    km = results[1]
+    print(f"\nKhatri-Rao reduces quantization error by "
+          f"{100 * (1 - kr.inertia / km.inertia):.0f}% at the same budget "
+          "(paper: 2009 -> 1144 on the scikit-learn example image).")
+
+    # Show how well the rare red accents survive quantization.
+    pixels = image.reshape(-1, 3)
+    red = (pixels[:, 0] > 0.6) & (pixels[:, 1] < 0.3) & (pixels[:, 2] < 0.3)
+    for result in results[1:]:
+        quantized = result.image.reshape(-1, 3)
+        err = float(np.sum((pixels[red] - quantized[red]) ** 2))
+        print(f"red-tone error under {result.method:<22}: {err:8.2f}")
+
+    # Dump viewable images (binary PPM — open with any image viewer).
+    from repro.viz import save_ppm
+
+    save_ppm(image, "quantization_original.ppm")
+    for result in results:
+        save_ppm(result.image, f"quantization_{result.method.replace('-', '_')}.ppm")
+    print("\nwrote quantization_*.ppm (original + one per method)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Khatri-Rao deep clustering: compress both centroids and the autoencoder.
+
+Trains DKM and its Khatri-Rao variant on an optdigits-like dataset.  The KR
+variant constrains the latent centroids to pairwise sums of protocentroids
+AND reparameterizes the inner autoencoder layers as Hadamard products of
+low-rank factors (Eq. 6 of the paper), then reports accuracy and the
+parameter ratio.
+
+Run:  python examples/deep_clustering.py
+"""
+
+from __future__ import annotations
+
+from repro.datasets import load_dataset
+from repro.deep import DKM, KhatriRaoDKM
+from repro.metrics import unsupervised_clustering_accuracy
+
+
+def main() -> None:
+    ds = load_dataset("optdigits", scale=0.15, random_state=0)
+    print(f"optdigits-like: {ds.n_samples} images, {ds.n_features} features, "
+          f"{ds.n_labels} digit clusters\n")
+
+    config = dict(
+        hidden_dims=(64, 32, 10),
+        pretrain_epochs=20,
+        clustering_epochs=10,
+        batch_size=256,
+        kmeans_n_init=10,
+        random_state=0,
+    )
+
+    print("training DKM (dense autoencoder, 10 latent centroids)...")
+    dkm = DKM(ds.n_labels, **config).fit(ds.data)
+
+    print("training Khatri-Rao DKM (compressed autoencoder, 5+2 "
+          "protocentroids)...\n")
+    kr = KhatriRaoDKM((5, 2), **config).fit(ds.data)
+
+    header = f"{'model':<18}{'ACC':>7}{'params':>9}{'ratio':>7}"
+    print(header)
+    print("-" * len(header))
+    for name, model in (("DKM", dkm), ("Khatri-Rao DKM", kr)):
+        acc = unsupervised_clustering_accuracy(ds.labels, model.labels_)
+        result = model.result()
+        print(f"{name:<18}{acc:>7.3f}{result.parameter_count:>9}"
+              f"{result.parameter_ratio:>7.2f}")
+
+    print("\nThe KR variant stores the same architecture with Hadamard-"
+          "\ncompressed inner layers and 7 protocentroids instead of 10"
+          "\ncentroids; with the paper's larger (1024-512-256) architecture"
+          "\nthe parameter reduction reaches 85%.")
+
+
+if __name__ == "__main__":
+    main()

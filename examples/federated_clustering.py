@@ -1,0 +1,50 @@
+"""Case study (Figure 10): cutting communication costs in federated k-Means.
+
+Simulates a federated environment with 10 clients holding non-IID shards of
+digit images, and compares FkM (server broadcasts all k centroids each
+round) against Khatri-Rao-FkM (server broadcasts only the protocentroid
+sets).  Reports the inertia reachable per communication budget.
+
+Run:  python examples/federated_clustering.py
+"""
+
+from __future__ import annotations
+
+from repro.datasets import make_federated_digits
+from repro.federated import FederatedKMeans, KhatriRaoFederatedKMeans
+
+
+def main() -> None:
+    n_clients, rounds = 10, 6
+    shards = make_federated_digits(n_clients, 150, side=14, random_state=0)
+    shards = [(X + 0.1, y) for X, y in shards]  # positive range for product ⊕
+    print(f"{n_clients} clients, shards of ~150 images each, "
+          f"{rounds} communication rounds\n")
+
+    fkm = FederatedKMeans(16, n_rounds=rounds, random_state=0).fit(shards)
+    kr = KhatriRaoFederatedKMeans((4, 4), aggregator="product",
+                                  n_rounds=rounds, random_state=0).fit(shards)
+
+    print("FkM broadcasts 16 centroid vectors per round;")
+    print("Khatri-Rao-FkM broadcasts 4+4 protocentroid vectors "
+          "for the same 16 clusters.\n")
+
+    header = (f"{'round':>6} | {'FkM KiB':>10}{'FkM inertia':>13} | "
+              f"{'KR KiB':>10}{'KR inertia':>13}")
+    print(header)
+    print("-" * len(header))
+    print(f"{'init':>6} | {'-':>10}{fkm.initial_inertia_:>13.1f} | "
+          f"{'-':>10}{kr.initial_inertia_:>13.1f}")
+    for i in range(rounds):
+        print(f"{i + 1:>6} | {fkm.history_.communication_bytes[i] / 1024:>10.0f}"
+              f"{fkm.history_.inertia[i]:>13.1f} | "
+              f"{kr.history_.communication_bytes[i] / 1024:>10.0f}"
+              f"{kr.history_.inertia[i]:>13.1f}")
+
+    saved = 1 - kr.history_.communication_bytes[-1] / fkm.history_.communication_bytes[-1]
+    print(f"\nKhatri-Rao-FkM used {100 * saved:.0f}% less server->client "
+          "traffic for the same number of rounds and clusters.")
+
+
+if __name__ == "__main__":
+    main()

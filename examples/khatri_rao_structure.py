@@ -1,0 +1,53 @@
+"""Figure 4 scenario: generating and detecting Khatri-Rao structure.
+
+Generates 2-D datasets whose cluster centroids are exactly the Khatri-Rao
+sum / product of two protocentroid sets, then (a) verifies that
+Khatri-Rao-k-Means recovers the structure, and (b) uses the Section 8
+aggregator-selection heuristic to detect whether a centroid grid is
+additive or multiplicative.
+
+Run:  python examples/khatri_rao_structure.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import KhatriRaoKMeans
+from repro.core import suggest_aggregator
+from repro.datasets import make_khatri_rao_blobs
+from repro.linalg import khatri_rao_combine
+from repro.metrics import adjusted_rand_index
+
+
+def main() -> None:
+    for aggregator in ("sum", "product"):
+        X, y, thetas = make_khatri_rao_blobs(
+            (3, 3), n_samples=900, aggregator=aggregator,
+            cluster_std=0.08, random_state=1,
+        )
+        model = KhatriRaoKMeans((3, 3), aggregator=aggregator, n_init=30,
+                                random_state=0).fit(X)
+        ari = adjusted_rand_index(y, model.labels_)
+        print(f"⊕ = {aggregator:<7}: KR-k-Means ARI on KR-structured data "
+              f"= {ari:.3f} "
+              f"({model.n_protocentroids} stored vectors, "
+              f"{model.n_clusters} clusters)")
+
+        # The Section 8 heuristic recovers the generating aggregator from
+        # the (grid-ordered) true centroids.
+        true_grid = khatri_rao_combine(thetas, aggregator)
+        detected = suggest_aggregator(true_grid, (3, 3))
+        print(f"             aggregator heuristic on the true centroid grid "
+              f"-> {detected!r}")
+
+        # Difference invariance, the mechanism behind the heuristic: in the
+        # additive model μ[i,j] − μ[i',j] does not depend on j.
+        grid = true_grid.reshape(3, 3, 2)
+        diffs = grid[1] - grid[0]
+        spread = float(np.var(diffs, axis=0).mean())
+        print(f"             variance of μ[1,j]-μ[0,j] across j: {spread:.4f}\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Section 8 scenario: choosing the Khatri-Rao configuration.
+
+Demonstrates the design-choice toolkit:
+
+* balanced factorizations of a target cluster count,
+* the optimal number of protocentroid sets for a vector budget
+  (Proposition 8.1) and the bounds of Proposition 8.2,
+* BIC-driven growth of the protocentroid sets (Khatri-Rao X-Means).
+
+Run:  python examples/model_selection.py
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    KhatriRaoXMeans,
+    balanced_factor_pair,
+    balanced_factorization,
+    max_centroids_for_budget,
+    optimal_num_sets,
+    sets_bounds_for_k,
+)
+from repro.datasets import make_blobs
+
+
+def main() -> None:
+    print("Balanced factor pairs (the evaluation's h1*h2 = k rule):")
+    for k in (40, 100, 36, 15):
+        print(f"  k={k:>4} -> h1,h2 = {balanced_factor_pair(k)}")
+
+    print("\nCentroids representable with a budget of 12 vectors:")
+    for p in (2, 3, 4, 6):
+        print(f"  p={p}: {max_centroids_for_budget(12, p):>3} centroids "
+              f"({balanced_factorization(max_centroids_for_budget(12, p), p)})")
+    print(f"  Proposition 8.1 optimum: p = {optimal_num_sets(12)}")
+
+    lower, upper = sets_bounds_for_k(100, 10)
+    print(f"\nProposition 8.2: representing k=100 clusters with sets of >= 10 "
+          f"protocentroids needs between {lower} and {upper} sets.")
+
+    print("\nBIC-driven growth (Khatri-Rao X-Means) on 9-cluster blobs:")
+    X, _ = make_blobs(600, n_features=2, n_clusters=9, cluster_std=0.15,
+                      random_state=5)
+    model = KhatriRaoXMeans(initial_cardinalities=(2, 2), max_vectors=8,
+                            n_init=5, random_state=0).fit(X)
+    for cards, bic in model.history_:
+        marker = " <- selected" if cards == model.cardinalities_ else ""
+        print(f"  cardinalities {cards}: BIC = {bic:12.1f}{marker}")
+    print(f"  final: {model.cardinalities_} "
+          f"({int(__import__('numpy').prod(model.cardinalities_))} clusters "
+          f"from {sum(model.cardinalities_)} vectors)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Figure 1 scenario: summarize the stickfigures dataset with 6 images.
+
+The stickfigures dataset contains 9 pose clusters that factor exactly into
+3 upper-body poses x 3 lower-body poses.  Khatri-Rao-k-Means with the sum
+aggregator finds two sets of 3 protocentroid images whose pairwise sums
+reproduce all 9 cluster prototypes — a 6-image summary with no accuracy
+loss, where standard clustering needs 9 images.
+
+Run:  python examples/stickfigures_summary.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import KhatriRaoKMeans, KMeans
+from repro.datasets import load_dataset
+from repro.metrics import unsupervised_clustering_accuracy
+
+
+def render_ascii(image: np.ndarray, threshold: float = 0.35) -> str:
+    """Tiny ASCII rendering of a square grayscale image."""
+    side = int(np.sqrt(image.size))
+    grid = image.reshape(side, side)
+    return "\n".join(
+        "".join("#" if value > threshold else "." for value in row)
+        for row in grid
+    )
+
+
+def main() -> None:
+    ds = load_dataset("stickfigures", random_state=0)
+    print(f"stickfigures: {ds.n_samples} images, {ds.n_labels} pose clusters\n")
+
+    kr = KhatriRaoKMeans((3, 3), aggregator="sum", n_init=20, random_state=0)
+    kr.fit(ds.data)
+    km = KMeans(9, n_init=20, random_state=0).fit(ds.data)
+
+    kr_acc = unsupervised_clustering_accuracy(ds.labels, kr.labels_)
+    km_acc = unsupervised_clustering_accuracy(ds.labels, km.labels_)
+    print(f"Khatri-Rao (3+3 protocentroids): ACC={kr_acc:.3f}, "
+          f"{kr.parameter_count()} parameters")
+    print(f"k-Means (9 centroids)          : ACC={km_acc:.3f}, "
+          f"{km.parameter_count()} parameters")
+    print(f"compression: {kr.parameter_count() / km.parameter_count():.2f}x "
+          "of the k-Means summary\n")
+
+    for q, theta in enumerate(kr.protocentroids_):
+        print(f"--- protocentroid set {q + 1} "
+              f"({'upper' if q == 0 else 'lower'}-half variation) ---")
+        blocks = [render_ascii(vector).splitlines() for vector in theta]
+        for lines in zip(*blocks):
+            print("   ".join(lines))
+        print()
+
+    print("--- one reconstructed centroid (protocentroid 0 ⊕ protocentroid 0) ---")
+    print(render_ascii(kr.centroids()[0]))
+
+
+if __name__ == "__main__":
+    main()

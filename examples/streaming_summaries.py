@@ -1,0 +1,66 @@
+"""Web-scale scenario: streaming mini-batch summarization + portable output.
+
+The paper motivates Khatri-Rao clustering with modern datasets too large for
+their summaries to stay cheap.  This example pushes that to streaming scale:
+data arrives in batches, a MiniBatchKhatriRaoKMeans model absorbs each batch
+(Sculley-style learning-rate schedule on the Proposition 6.1 statistics),
+and the final protocentroids are exported as a portable DataSummary that a
+downstream consumer can load without the library's estimators.
+
+Run:  python examples/streaming_summaries.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import DataSummary, KhatriRaoKMeans, MiniBatchKhatriRaoKMeans, summarize
+from repro.datasets import make_blobs
+
+
+def stream_batches(n_batches: int, batch_size: int, seed: int):
+    """Simulate a data stream of blobs arriving batch by batch."""
+    X, _ = make_blobs(n_batches * batch_size, n_features=8, n_clusters=25,
+                      random_state=seed)
+    for start in range(0, X.shape[0], batch_size):
+        yield X[start : start + batch_size]
+
+
+def main() -> None:
+    n_batches, batch_size = 40, 250
+    print(f"streaming {n_batches} batches of {batch_size} points "
+          "(25 underlying clusters)\n")
+
+    model = MiniBatchKhatriRaoKMeans((5, 5), batch_size=batch_size,
+                                     random_state=0)
+    for i, batch in enumerate(stream_batches(n_batches, batch_size, seed=0)):
+        model.partial_fit(batch)
+        if (i + 1) % 10 == 0:
+            print(f"  after batch {i + 1:>3}: "
+                  f"{model.n_steps_} updates absorbed")
+
+    # Evaluate against a full-batch fit on the whole stream.
+    X_all = np.vstack(list(stream_batches(n_batches, batch_size, seed=0)))
+    stream_inertia = DataSummary(
+        [t.copy() for t in model.protocentroids_], model.aggregator.name
+    ).inertia(X_all)
+    full = KhatriRaoKMeans((5, 5), n_init=5, random_state=0).fit(X_all)
+    print(f"\nstreaming inertia : {stream_inertia:.1f}")
+    print(f"full-batch inertia: {full.inertia_:.1f} "
+          "(upper bound on what streaming can reach)")
+
+    # Export / re-import the portable artifact.
+    summary = summarize(model, metadata={"source": "stream", "batches": n_batches})
+    with tempfile.TemporaryDirectory() as tmp:
+        path = summary.save(Path(tmp) / "stream_summary.npz")
+        loaded = DataSummary.load(path)
+        print(f"\nsaved and re-loaded summary from {path.name}:")
+        print(loaded.report())
+        assert np.allclose(loaded.centroids(), summary.centroids())
+
+
+if __name__ == "__main__":
+    main()

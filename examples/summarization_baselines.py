@@ -1,0 +1,45 @@
+"""Summarization design space: sampling, PCA, k-Means and Khatri-Rao.
+
+The paper situates Khatri-Rao clustering among broader summarization
+strategies (Section 2: "aggregation, dimensionality reduction, or
+sampling").  This example compares all of them at the *same parameter
+budget* on data with many underlying clusters, and renders the Khatri-Rao
+clustering as an ASCII scatter plot.
+
+Run:  python examples/summarization_baselines.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import KhatriRaoKMeans
+from repro.applications import compare_summaries
+from repro.datasets import make_blobs
+from repro.viz import ascii_bar_chart, ascii_scatter
+
+
+def main() -> None:
+    X, y = make_blobs(2000, n_features=2, n_clusters=25, cluster_std=0.4,
+                      random_state=0)
+    print("2000 points, 25 clusters; budget = 10 stored vectors "
+          "(two sets of 5 protocentroids)\n")
+
+    rows = compare_summaries(X, (5, 5), n_init=10, random_state=0)
+    print("summed squared error by summarization strategy:")
+    print(ascii_bar_chart(
+        [row.method for row in rows],
+        [row.inertia for row in rows],
+        width=40,
+    ))
+
+    model = KhatriRaoKMeans((5, 5), n_init=10, random_state=0).fit(X)
+    print("\nKhatri-Rao clustering of the dataset "
+          "(M = reconstructed centroids):")
+    subsample = np.random.default_rng(0).choice(X.shape[0], 400, replace=False)
+    print(ascii_scatter(X[subsample], model.labels_[subsample],
+                        markers=model.centroids(), width=70, height=24))
+
+
+if __name__ == "__main__":
+    main()

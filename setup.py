@@ -1,0 +1,12 @@
+"""Setup shim enabling editable installs in offline environments.
+
+The sandboxed environment ships setuptools without the ``wheel`` package, so
+PEP 517 editable installs (which build a wheel) fail.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` — and plain
+``pip install -e .`` on modern toolchains — work everywhere.  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

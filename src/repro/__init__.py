@@ -1,0 +1,76 @@
+"""repro — Khatri-Rao Clustering for Data Summarization (EDBT 2026).
+
+A from-scratch reproduction of the Khatri-Rao clustering paradigm
+[Ciaperoni, Leiber, Gionis, Mannila — EDBT 2026]: centroid-based data
+summaries whose centroids arise from the interaction of small sets of
+*protocentroids* through elementwise Khatri-Rao operators.
+
+Quickstart
+----------
+>>> from repro import KhatriRaoKMeans
+>>> from repro.datasets import load_dataset
+>>> ds = load_dataset("stickfigures", random_state=0)
+>>> model = KhatriRaoKMeans((3, 3), aggregator="sum", random_state=0).fit(ds.data)
+>>> model.centroids().shape                         # 9 centroids ...
+(9, 400)
+>>> model.parameter_count() < 9 * ds.n_features     # ... from 6 stored vectors
+True
+
+Public surface
+--------------
+* :class:`~repro.core.KMeans`, :class:`~repro.core.KhatriRaoKMeans`,
+  :class:`~repro.core.NaiveKhatriRao` — k-means-family algorithms;
+* :mod:`repro.deep` — DKM/IDEC and their Khatri-Rao variants;
+* :mod:`repro.federated` — FkM and Khatri-Rao-FkM;
+* :mod:`repro.applications` — color quantization;
+* :mod:`repro.datasets`, :mod:`repro.metrics`, :mod:`repro.linalg`,
+  :mod:`repro.core.design` — data, evaluation and design-choice utilities.
+"""
+
+from . import applications, core, datasets, deep, federated, linalg, metrics, viz
+from .core import KhatriRaoKMeans, KMeans, MiniBatchKhatriRaoKMeans, NaiveKhatriRao
+from .deep import DEC, DKM, IDEC, KhatriRaoDEC, KhatriRaoDKM, KhatriRaoIDEC
+from .summary import DataSummary, summarize
+from .exceptions import (
+    ConvergenceWarning,
+    DatasetError,
+    NotFittedError,
+    ReproError,
+    ValidationError,
+)
+from .federated import FederatedKMeans, KhatriRaoFederatedKMeans
+from .linalg import khatri_rao_combine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "KMeans",
+    "KhatriRaoKMeans",
+    "MiniBatchKhatriRaoKMeans",
+    "NaiveKhatriRao",
+    "DKM",
+    "KhatriRaoDKM",
+    "IDEC",
+    "KhatriRaoIDEC",
+    "DEC",
+    "KhatriRaoDEC",
+    "DataSummary",
+    "summarize",
+    "FederatedKMeans",
+    "KhatriRaoFederatedKMeans",
+    "khatri_rao_combine",
+    "ReproError",
+    "ValidationError",
+    "NotFittedError",
+    "DatasetError",
+    "ConvergenceWarning",
+    "core",
+    "deep",
+    "datasets",
+    "federated",
+    "applications",
+    "linalg",
+    "metrics",
+    "viz",
+    "__version__",
+]

@@ -1,0 +1,115 @@
+"""Shared input-validation helpers.
+
+These helpers centralize the checks performed at the public-API boundary so
+that every estimator reports consistent, actionable error messages.  They are
+intentionally strict: silent coercion of malformed input is a common source
+of hard-to-debug clustering results.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .exceptions import ValidationError
+
+__all__ = [
+    "check_array",
+    "check_positive_int",
+    "check_in",
+    "check_cardinalities",
+    "check_random_state",
+]
+
+
+def check_array(
+    X,
+    *,
+    name: str = "X",
+    ndim: int = 2,
+    min_samples: int = 1,
+    dtype=np.float64,
+    allow_empty: bool = False,
+) -> np.ndarray:
+    """Validate and convert ``X`` to a contiguous float ndarray.
+
+    Parameters
+    ----------
+    X : array-like
+        Input data.
+    name : str
+        Name used in error messages.
+    ndim : int
+        Required number of dimensions.
+    min_samples : int
+        Minimum size of the first axis.
+    dtype : numpy dtype
+        Target dtype of the returned array.
+    allow_empty : bool
+        Whether a zero-length first axis is acceptable.
+
+    Returns
+    -------
+    numpy.ndarray
+        A validated array of the requested dtype and dimensionality.
+    """
+    try:
+        arr = np.asarray(X, dtype=dtype)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} could not be converted to a numeric array: {exc}")
+    if arr.ndim != ndim:
+        raise ValidationError(f"{name} must be {ndim}-dimensional, got shape {arr.shape}")
+    if not allow_empty and arr.shape[0] < min_samples:
+        raise ValidationError(
+            f"{name} must contain at least {min_samples} samples, got {arr.shape[0]}"
+        )
+    if not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} contains NaN or infinite values")
+    return np.ascontiguousarray(arr)
+
+
+def check_positive_int(value, name: str, *, minimum: int = 1) -> int:
+    """Validate that ``value`` is an integer greater or equal to ``minimum``."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValidationError(f"{name} must be an integer, got {value!r}")
+    value = int(value)
+    if value < minimum:
+        raise ValidationError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def check_in(value, name: str, allowed: Sequence) -> object:
+    """Validate that ``value`` is one of ``allowed``."""
+    if value not in allowed:
+        raise ValidationError(f"{name} must be one of {tuple(allowed)!r}, got {value!r}")
+    return value
+
+
+def check_cardinalities(cardinalities, *, name: str = "cardinalities") -> Tuple[int, ...]:
+    """Validate a sequence of protocentroid-set cardinalities ``(h_1, ..., h_p)``."""
+    try:
+        values = tuple(int(h) for h in cardinalities)
+    except (TypeError, ValueError):
+        raise ValidationError(f"{name} must be a sequence of integers, got {cardinalities!r}")
+    if len(values) < 1:
+        raise ValidationError(f"{name} must contain at least one set cardinality")
+    for h in values:
+        if h < 1:
+            raise ValidationError(f"every cardinality in {name} must be >= 1, got {values}")
+    return values
+
+
+def check_random_state(seed: Optional[object]) -> np.random.Generator:
+    """Turn ``seed`` into a :class:`numpy.random.Generator`.
+
+    Accepts ``None`` (fresh entropy), an integer seed, or an existing
+    ``Generator``/``RandomState`` instance.
+    """
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(seed)
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.RandomState):
+        return np.random.default_rng(seed.randint(0, 2**32 - 1))
+    raise ValidationError(f"random_state must be None, an int, or a Generator, got {seed!r}")

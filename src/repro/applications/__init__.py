@@ -1,0 +1,32 @@
+"""Application case studies built on the public clustering API.
+
+* :mod:`repro.applications.color_quantization` — the Figure 9 case study:
+  codebooks of representative colors from k-Means, Khatri-Rao-k-Means and
+  random sampling, at matched parameter budgets.
+* :mod:`repro.applications.summarization` — the related-work summarization
+  baselines (sampling, PCA sketches) at matched budgets (paper Section 2).
+"""
+
+from .color_quantization import (
+    QuantizationResult,
+    quantize_khatri_rao_kmeans,
+    quantize_kmeans,
+    quantize_random,
+)
+from .summarization import (
+    SummaryEvaluation,
+    compare_summaries,
+    pca_summary,
+    sampling_summary,
+)
+
+__all__ = [
+    "QuantizationResult",
+    "quantize_kmeans",
+    "quantize_khatri_rao_kmeans",
+    "quantize_random",
+    "SummaryEvaluation",
+    "compare_summaries",
+    "sampling_summary",
+    "pca_summary",
+]

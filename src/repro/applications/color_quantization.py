@@ -1,0 +1,145 @@
+"""Color quantization via clustering codebooks (paper Section 9.4, Figure 9).
+
+Color quantization casts an RGB image as a point cloud in 3-D color space
+and builds a **codebook** of representative colors; every pixel is then
+mapped to its closest codebook entry.  The paper's case study compares, at
+*matched parameter budgets* (12 stored vectors):
+
+* random quantization — 12 pixels sampled uniformly at random;
+* ``k-Means`` — 12 centroids;
+* ``Khatri-Rao-k-Means`` — two sets of 6 protocentroids, product
+  aggregator, representing a 36-color codebook with 12 stored vectors.
+
+The paper fits the codebooks on a 1000-pixel subsample and reports inertias
+4686 / 2009 / 1144 — random > k-Means > Khatri-Rao — with the KR codebook
+preserving rare-but-salient red tones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .._validation import check_positive_int, check_random_state
+from ..core import KhatriRaoKMeans, KMeans
+from ..core._distances import assign_to_nearest
+from ..exceptions import ValidationError
+
+__all__ = [
+    "QuantizationResult",
+    "quantize_kmeans",
+    "quantize_khatri_rao_kmeans",
+    "quantize_random",
+]
+
+
+@dataclass
+class QuantizationResult:
+    """Outcome of quantizing an image with a codebook.
+
+    Attributes
+    ----------
+    image : array (h, w, 3) — the quantized image.
+    codebook : array (n_colors, 3)
+    inertia : float — squared error of all pixels to their codebook color.
+    stored_vectors : int — parameter budget actually stored (12 for all
+        three methods of Figure 9; the KR codebook *represents* 36 colors).
+    method : str
+    """
+
+    image: np.ndarray
+    codebook: np.ndarray
+    inertia: float
+    stored_vectors: int
+    method: str
+
+
+def _flatten_image(image: np.ndarray) -> Tuple[np.ndarray, Tuple[int, int]]:
+    image = np.asarray(image, dtype=float)
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise ValidationError(f"image must have shape (h, w, 3), got {image.shape}")
+    h, w, _ = image.shape
+    return image.reshape(-1, 3), (h, w)
+
+
+def _subsample(pixels: np.ndarray, n: int, rng: np.random.Generator) -> np.ndarray:
+    if pixels.shape[0] <= n:
+        return pixels
+    indices = rng.choice(pixels.shape[0], size=n, replace=False)
+    return pixels[indices]
+
+
+def _apply_codebook(
+    pixels: np.ndarray, shape: Tuple[int, int], codebook: np.ndarray, method: str,
+    stored_vectors: int,
+) -> QuantizationResult:
+    labels, distances = assign_to_nearest(pixels, codebook)
+    quantized = codebook[labels].reshape(shape[0], shape[1], 3)
+    return QuantizationResult(
+        image=quantized,
+        codebook=codebook,
+        inertia=float(distances.sum()),
+        stored_vectors=stored_vectors,
+        method=method,
+    )
+
+
+def quantize_kmeans(
+    image: np.ndarray,
+    n_colors: int = 12,
+    *,
+    fit_pixels: int = 1000,
+    n_init: int = 10,
+    random_state=None,
+) -> QuantizationResult:
+    """Quantize with a k-Means codebook of ``n_colors`` centroids."""
+    n_colors = check_positive_int(n_colors, "n_colors")
+    rng = check_random_state(random_state)
+    pixels, shape = _flatten_image(image)
+    sample = _subsample(pixels, fit_pixels, rng)
+    model = KMeans(n_colors, n_init=n_init, random_state=rng).fit(sample)
+    return _apply_codebook(
+        pixels, shape, model.cluster_centers_, "k-means", n_colors
+    )
+
+
+def quantize_khatri_rao_kmeans(
+    image: np.ndarray,
+    cardinalities: Sequence[int] = (6, 6),
+    *,
+    aggregator="product",
+    fit_pixels: int = 1000,
+    n_init: int = 10,
+    random_state=None,
+) -> QuantizationResult:
+    """Quantize with a Khatri-Rao-k-Means codebook.
+
+    With the Figure 9 configuration ``(6, 6)`` and the product aggregator,
+    12 stored vectors represent a 36-color codebook.
+    """
+    rng = check_random_state(random_state)
+    pixels, shape = _flatten_image(image)
+    sample = _subsample(pixels, fit_pixels, rng)
+    model = KhatriRaoKMeans(
+        cardinalities, aggregator=aggregator, n_init=n_init, random_state=rng
+    ).fit(sample)
+    return _apply_codebook(
+        pixels, shape, model.centroids(), "khatri-rao-k-means",
+        int(sum(model.cardinalities)),
+    )
+
+
+def quantize_random(
+    image: np.ndarray,
+    n_colors: int = 12,
+    *,
+    random_state=None,
+) -> QuantizationResult:
+    """Quantize with ``n_colors`` pixels sampled uniformly at random."""
+    n_colors = check_positive_int(n_colors, "n_colors")
+    rng = check_random_state(random_state)
+    pixels, shape = _flatten_image(image)
+    indices = rng.choice(pixels.shape[0], size=min(n_colors, pixels.shape[0]), replace=False)
+    return _apply_codebook(pixels, shape, pixels[indices].copy(), "random", n_colors)

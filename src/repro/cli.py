@@ -1,0 +1,158 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+``datasets``
+    Print the Table 1 registry (optionally at reduced scale).
+``fit``
+    Fit Khatri-Rao-k-Means (or k-Means) on a registry dataset and print the
+    Table 2-style comparison; optionally save the resulting summary.
+``summary``
+    Inspect a saved ``.npz`` data summary.
+``quantize``
+    Run the Figure 9 color-quantization case study.
+
+Examples
+--------
+::
+
+    python -m repro.cli datasets --scale 0.1
+    python -m repro.cli fit --dataset stickfigures --cardinalities 3 3 \\
+        --aggregator sum --save summary.npz
+    python -m repro.cli summary summary.npz
+    python -m repro.cli quantize --colors 6 6
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Khatri-Rao clustering for data summarization (EDBT 2026 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    datasets = subparsers.add_parser("datasets", help="list the Table 1 registry")
+    datasets.add_argument("--scale", type=float, default=0.05,
+                          help="sample-count scale in (0, 1] (default 0.05)")
+    datasets.add_argument("--seed", type=int, default=0)
+
+    fit = subparsers.add_parser("fit", help="fit and compare on a dataset")
+    fit.add_argument("--dataset", required=True, help="registry dataset name")
+    fit.add_argument("--cardinalities", type=int, nargs="+", default=None,
+                     help="protocentroid set sizes (default: balanced pair)")
+    fit.add_argument("--aggregator", choices=("sum", "product"), default="sum")
+    fit.add_argument("--scale", type=float, default=0.1)
+    fit.add_argument("--n-init", type=int, default=10)
+    fit.add_argument("--seed", type=int, default=0)
+    fit.add_argument("--save", default=None, metavar="PATH",
+                     help="write the KR summary to an .npz file")
+
+    summary = subparsers.add_parser("summary", help="inspect a saved summary")
+    summary.add_argument("path", help="path to a .npz summary")
+
+    quantize = subparsers.add_parser("quantize", help="color-quantization case study")
+    quantize.add_argument("--colors", type=int, nargs=2, default=(6, 6),
+                          metavar=("H1", "H2"),
+                          help="protocentroid set sizes (default 6 6)")
+    quantize.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_datasets(args) -> int:
+    from .datasets import dataset_summary_table
+
+    print(dataset_summary_table(scale=args.scale, random_state=args.seed))
+    return 0
+
+
+def _cmd_fit(args) -> int:
+    from .core import KhatriRaoKMeans, balanced_factor_pair
+    from .datasets import load_dataset
+    from .reporting import compare_methods, render_comparison
+    from .summary import summarize
+
+    ds = load_dataset(args.dataset, scale=args.scale, random_state=args.seed)
+    print(f"dataset {ds.name}: {ds.n_samples} x {ds.n_features}, "
+          f"{ds.n_labels} labels\n")
+    cards = args.cardinalities
+    results = compare_methods(
+        ds.data, ds.labels, ds.n_labels, cardinalities=cards,
+        n_init=args.n_init, random_state=args.seed,
+    )
+    print(render_comparison(results))
+
+    if args.save:
+        if cards is None:
+            h1, h2 = balanced_factor_pair(ds.n_labels)
+            if h2 == 1:
+                h1, h2 = balanced_factor_pair(ds.n_labels + 1)
+            cards = (h1, h2)
+        model = KhatriRaoKMeans(
+            cards, aggregator=args.aggregator, n_init=args.n_init,
+            random_state=args.seed,
+        ).fit(ds.data)
+        summary = summarize(model, metadata={"dataset": ds.name})
+        written = summary.save(args.save)
+        print(f"\nsaved Khatri-Rao summary to {written}")
+    return 0
+
+
+def _cmd_summary(args) -> int:
+    from .summary import DataSummary
+
+    print(DataSummary.load(args.path).report())
+    return 0
+
+
+def _cmd_quantize(args) -> int:
+    from .applications import (
+        quantize_khatri_rao_kmeans,
+        quantize_kmeans,
+        quantize_random,
+    )
+    from .datasets import make_quantization_image
+
+    h1, h2 = args.colors
+    image = make_quantization_image(random_state=args.seed)
+    budget = h1 + h2
+    results = [
+        quantize_random(image, budget, random_state=args.seed),
+        quantize_kmeans(image, budget, random_state=args.seed),
+        quantize_khatri_rao_kmeans(image, (h1, h2), random_state=args.seed),
+    ]
+    header = f"{'method':<24}{'colors':>8}{'stored':>8}{'inertia':>12}"
+    print(header)
+    print("-" * len(header))
+    for result in results:
+        print(f"{result.method:<24}{result.codebook.shape[0]:>8}"
+              f"{result.stored_vectors:>8}{result.inertia:>12.1f}")
+    return 0
+
+
+_COMMANDS = {
+    "datasets": _cmd_datasets,
+    "fit": _cmd_fit,
+    "summary": _cmd_summary,
+    "quantize": _cmd_quantize,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Core clustering algorithms: the paper's primary contribution.
+
+* :class:`KMeans` — standard Lloyd's algorithm with k-means++ (Section 3),
+  the baseline the paper compares against;
+* :class:`KhatriRaoKMeans` — Algorithm 1 with closed-form protocentroid
+  updates (Proposition 6.1), sum/product aggregators and any number ``p``
+  of protocentroid sets;
+* :class:`NaiveKhatriRao` — the two-phase baseline of Section 5;
+* design-choice helpers from Section 8 (:mod:`repro.core.design`);
+* BIC-based model selection (:mod:`repro.core.model_selection`).
+"""
+
+from .design import (
+    balanced_factor_pair,
+    balanced_factorization,
+    max_centroids_for_budget,
+    optimal_num_sets,
+    sets_bounds_for_k,
+    suggest_aggregator,
+)
+from .gmeans import GMeans, anderson_darling_rejects_gaussian
+from .kmeans import KMeans, kmeans_plus_plus_init
+from .kr_kmeans import KhatriRaoKMeans
+from .minibatch import MiniBatchKhatriRaoKMeans
+from .model_selection import KhatriRaoXMeans, XMeans, bic_score
+from .naive import NaiveKhatriRao, decompose_centroids
+
+__all__ = [
+    "KMeans",
+    "kmeans_plus_plus_init",
+    "KhatriRaoKMeans",
+    "MiniBatchKhatriRaoKMeans",
+    "NaiveKhatriRao",
+    "decompose_centroids",
+    "GMeans",
+    "anderson_darling_rejects_gaussian",
+    "balanced_factor_pair",
+    "balanced_factorization",
+    "optimal_num_sets",
+    "max_centroids_for_budget",
+    "sets_bounds_for_k",
+    "suggest_aggregator",
+    "XMeans",
+    "KhatriRaoXMeans",
+    "bic_score",
+]

@@ -1,0 +1,68 @@
+"""Vectorized squared-Euclidean distance kernels shared by the estimators.
+
+The assignment step is the computational bottleneck of both k-Means and
+Khatri-Rao k-Means (paper Section 6, "Complexity"), so the kernels here are
+written to avoid Python-level loops and to support a chunked mode that keeps
+peak memory bounded for the memory-efficient KR implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["squared_distances", "assign_to_nearest"]
+
+
+def squared_distances(X: np.ndarray, C: np.ndarray) -> np.ndarray:
+    """Pairwise squared Euclidean distances between rows of ``X`` and ``C``.
+
+    Uses the expansion ``||x - c||^2 = ||x||^2 - 2 x·c + ||c||^2`` and clips
+    tiny negative values produced by floating-point cancellation.
+    """
+    x_sq = np.einsum("ij,ij->i", X, X)[:, None]
+    c_sq = np.einsum("ij,ij->i", C, C)[None, :]
+    distances = x_sq - 2.0 * (X @ C.T) + c_sq
+    np.maximum(distances, 0.0, out=distances)
+    return distances
+
+
+def assign_to_nearest(
+    X: np.ndarray, C: np.ndarray, *, chunk_size: int = 0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Assign each row of ``X`` to its nearest row of ``C``.
+
+    Parameters
+    ----------
+    X : array of shape (n, m)
+    C : array of shape (k, m)
+    chunk_size : int
+        If positive, process centroids in chunks of this many rows so that at
+        most ``n * chunk_size`` distances are materialized at a time.  This is
+        the memory-efficient mode used when ``k`` is large.
+
+    Returns
+    -------
+    labels : int array of shape (n,)
+    min_distances : float array of shape (n,)
+        Squared distance of each point to its assigned centroid.
+    """
+    n = X.shape[0]
+    k = C.shape[0]
+    if chunk_size <= 0 or chunk_size >= k:
+        distances = squared_distances(X, C)
+        labels = np.argmin(distances, axis=1)
+        return labels, distances[np.arange(n), labels]
+
+    labels = np.zeros(n, dtype=np.int64)
+    best = np.full(n, np.inf)
+    for start in range(0, k, chunk_size):
+        stop = min(start + chunk_size, k)
+        distances = squared_distances(X, C[start:stop])
+        chunk_labels = np.argmin(distances, axis=1)
+        chunk_best = distances[np.arange(n), chunk_labels]
+        improved = chunk_best < best
+        labels[improved] = chunk_labels[improved] + start
+        best[improved] = chunk_best[improved]
+    return labels, best

@@ -1,0 +1,231 @@
+"""Design choices in Khatri-Rao clustering (paper Section 8).
+
+Utilities answering the practical questions the paper addresses before
+running any Khatri-Rao algorithm:
+
+* how to split a target number of clusters ``k`` into balanced factors
+  (:func:`balanced_factor_pair`, :func:`balanced_factorization`) — the
+  evaluation picks "the two factors of the total number of clusters that are
+  closest in value so that h1·h2 = k";
+* how many protocentroid sets maximize representable centroids for a fixed
+  vector budget ``b`` (:func:`optimal_num_sets`, Proposition 8.1: one of the
+  two divisors of ``b`` closest to ``b/e``);
+* bounds on the number of sets guaranteed to represent ``k`` centroids
+  (:func:`sets_bounds_for_k`, Proposition 8.2);
+* a heuristic choosing between the sum and product aggregators from an
+  initial set of unconstrained centroids (:func:`suggest_aggregator`):
+  in the additive model, centroid differences across one index are invariant
+  in the other, and the multiplicative model shows the same invariance after
+  taking logarithms.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .._validation import check_cardinalities, check_positive_int
+from ..exceptions import ValidationError
+
+__all__ = [
+    "balanced_factor_pair",
+    "balanced_factorization",
+    "max_centroids_for_budget",
+    "optimal_num_sets",
+    "sets_bounds_for_k",
+    "suggest_aggregator",
+]
+
+
+def balanced_factor_pair(k: int) -> Tuple[int, int]:
+    """The two factors of ``k`` closest in value with ``h1 · h2 = k``.
+
+    This is the rule used throughout the paper's evaluation (Section 9.1),
+    e.g. ``k=40 -> (8, 5)``.  For prime ``k`` the only factorization is
+    ``(k, 1)``.
+
+    Examples
+    --------
+    >>> balanced_factor_pair(40)
+    (8, 5)
+    >>> balanced_factor_pair(9)
+    (3, 3)
+    """
+    k = check_positive_int(k, "k")
+    for h1 in range(int(math.isqrt(k)), 0, -1):
+        if k % h1 == 0:
+            h2 = k // h1
+            return (max(h1, h2), min(h1, h2))
+    raise AssertionError("unreachable: 1 always divides k")  # pragma: no cover
+
+
+def balanced_factorization(k: int, p: int) -> Tuple[int, ...]:
+    """Factor ``k`` into ``p`` integers as balanced as possible.
+
+    Greedily extracts, at each step, the divisor of the remaining product
+    closest to its ``(remaining sets)``-th root.  Returns a tuple sorted in
+    non-increasing order whose product is exactly ``k``.
+
+    Examples
+    --------
+    >>> balanced_factorization(36, 2)
+    (6, 6)
+    >>> balanced_factorization(64, 3)
+    (4, 4, 4)
+    """
+    k = check_positive_int(k, "k")
+    p = check_positive_int(p, "p")
+    factors: List[int] = []
+    remaining = k
+    for sets_left in range(p, 0, -1):
+        if sets_left == 1:
+            factors.append(remaining)
+            break
+        target = remaining ** (1.0 / sets_left)
+        best = 1
+        best_gap = float("inf")
+        for d in range(1, remaining + 1):
+            if remaining % d:
+                continue
+            gap = abs(d - target)
+            if gap < best_gap:
+                best, best_gap = d, gap
+        factors.append(best)
+        remaining //= best
+    return tuple(sorted(factors, reverse=True))
+
+
+def max_centroids_for_budget(budget: int, p: int) -> int:
+    """Centroids representable by ``p`` equal sets under a vector budget.
+
+    With ``b`` vectors split into ``p`` sets of ``b/p`` protocentroids each,
+    ``(b/p)^p`` centroids can be represented (Section 8).
+
+    Examples
+    --------
+    >>> max_centroids_for_budget(12, 2)
+    36
+    >>> max_centroids_for_budget(12, 3)
+    64
+    """
+    budget = check_positive_int(budget, "budget")
+    p = check_positive_int(p, "p")
+    if budget % p:
+        raise ValidationError(f"budget {budget} is not divisible into {p} equal sets")
+    return (budget // p) ** p
+
+
+def optimal_num_sets(budget: int) -> int:
+    """Number of equal-size sets maximizing representable centroids.
+
+    Proposition 8.1: among divisors of the budget ``b``, the maximizer of
+    ``(b/p)^p`` is one of the two divisors closest to ``b / e``.  This
+    function evaluates both candidates and returns the better one (the
+    smaller ``p`` on ties, favouring easier optimization — Section 8).
+
+    Examples
+    --------
+    >>> optimal_num_sets(12)
+    4
+    >>> optimal_num_sets(6)
+    2
+    """
+    budget = check_positive_int(budget, "budget")
+    divisors = [d for d in range(1, budget + 1) if budget % d == 0]
+    target = budget / math.e
+    below = max((d for d in divisors if d <= target), default=None)
+    above = min((d for d in divisors if d >= target), default=None)
+    candidates = {d for d in (below, above) if d is not None}
+    best_p = min(candidates)
+    best_value = max_centroids_for_budget(budget, best_p)
+    for p in sorted(candidates):
+        value = max_centroids_for_budget(budget, p)
+        if value > best_value:
+            best_p, best_value = p, value
+    return best_p
+
+
+def sets_bounds_for_k(k: int, h_min: int) -> Tuple[int, int]:
+    """Bounds of Proposition 8.2 on the number of sets representing ``k``.
+
+    ``log_{h_min} k <= p* <= ceil(k / (h_min - 1))`` where every set has at
+    least ``h_min`` protocentroids.
+
+    Examples
+    --------
+    >>> sets_bounds_for_k(100, 10)
+    (2, 12)
+    """
+    k = check_positive_int(k, "k")
+    h_min = check_positive_int(h_min, "h_min", minimum=2)
+    lower = math.ceil(math.log(k, h_min) - 1e-12)
+    lower = max(lower, 1)
+    upper = math.ceil(k / (h_min - 1))
+    return (lower, upper)
+
+
+def _difference_invariance(grid: np.ndarray) -> float:
+    """Mean variance of centroid differences across each grid axis.
+
+    For an exactly additive grid ``μ[i, j] = θ1[i] + θ2[j]``, the difference
+    ``μ[i, j] − μ[i', j]`` does not depend on ``j``, so the variance over
+    ``j`` is zero.  Smaller is more consistent with the additive model.
+    """
+    total = 0.0
+    count = 0
+    p = grid.ndim - 1
+    for axis in range(p):
+        moved = np.moveaxis(grid, axis, 0)
+        h = moved.shape[0]
+        if h < 2:
+            continue
+        diffs = moved[1:] - moved[:-1]  # (h-1, ..., m)
+        flattened = diffs.reshape(h - 1, -1, grid.shape[-1])
+        if flattened.shape[1] < 2:
+            continue
+        total += float(np.mean(np.var(flattened, axis=1)))
+        count += 1
+    return total / count if count else 0.0
+
+
+def suggest_aggregator(
+    centroids: np.ndarray, cardinalities: Sequence[int]
+) -> str:
+    """Heuristic aggregator choice from unconstrained centroids (Section 8).
+
+    Measures how invariant centroid differences are across each protocentroid
+    index, both in the raw space (additive model) and after a log transform
+    of magnitudes (multiplicative model), and returns the better-fitting
+    aggregator name (``"sum"`` or ``"product"``).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> t1 = np.array([[0.0, 1.0], [5.0, 2.0]])
+    >>> t2 = np.array([[1.0, 0.0], [0.0, 3.0], [2.0, 2.0]])
+    >>> from repro.linalg import khatri_rao_combine
+    >>> grid = khatri_rao_combine([t1, t2], "sum")
+    >>> suggest_aggregator(grid, (2, 3))
+    'sum'
+    """
+    cards = check_cardinalities(cardinalities)
+    centroids = np.asarray(centroids, dtype=float)
+    k = int(np.prod(cards))
+    if centroids.ndim != 2 or centroids.shape[0] != k:
+        raise ValidationError(
+            f"centroids must have shape ({k}, m) for cardinalities {cards}"
+        )
+    grid = centroids.reshape(*cards, centroids.shape[1])
+    additive_score = _difference_invariance(grid)
+
+    log_grid = np.log(np.abs(grid) + 1e-12)
+    multiplicative_score = _difference_invariance(log_grid)
+
+    # Normalize by the overall variance so scores are scale-free.
+    additive_scale = float(np.var(grid)) or 1.0
+    multiplicative_scale = float(np.var(log_grid)) or 1.0
+    additive_score /= additive_scale
+    multiplicative_score /= multiplicative_scale
+    return "sum" if additive_score <= multiplicative_score else "product"

@@ -1,0 +1,241 @@
+"""Standard k-Means (Lloyd's algorithm) with k-means++ initialization.
+
+This is the unconstrained baseline of the paper (Section 3).  It is written
+from scratch on numpy so that the scalability comparison of Figure 8 runs
+both algorithms on the same code path, as the paper does for fairness
+("in the scalability experiments ... we use an implementation of k-Means
+which mirrors the implementation of Khatri-Rao-k-Means", Appendix B).
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Optional
+
+import numpy as np
+
+from .._validation import check_array, check_in, check_positive_int, check_random_state
+from ..exceptions import ConvergenceWarning, NotFittedError, ValidationError
+from ._distances import assign_to_nearest, squared_distances
+
+__all__ = ["KMeans", "kmeans_plus_plus_init"]
+
+
+def _check_sample_weight(sample_weight, n_samples: int) -> np.ndarray:
+    """Validate per-sample weights; defaults to all-ones."""
+    if sample_weight is None:
+        return np.ones(n_samples)
+    weights = np.asarray(sample_weight, dtype=float).ravel()
+    if weights.shape[0] != n_samples:
+        raise ValidationError(
+            f"sample_weight has length {weights.shape[0]}, expected {n_samples}"
+        )
+    if np.any(weights < 0) or not np.all(np.isfinite(weights)):
+        raise ValidationError("sample_weight must be finite and non-negative")
+    if weights.sum() <= 0:
+        raise ValidationError("sample_weight must have positive total mass")
+    return weights
+
+
+def kmeans_plus_plus_init(
+    X: np.ndarray, n_clusters: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding [Arthur & Vassilvitskii, 2007].
+
+    The first centroid is drawn uniformly; each subsequent centroid is a data
+    point sampled with probability proportional to its squared distance to
+    the nearest centroid chosen so far.
+
+    Returns
+    -------
+    array of shape (n_clusters, m)
+    """
+    n = X.shape[0]
+    if n_clusters > n:
+        raise ValidationError(f"n_clusters={n_clusters} exceeds number of samples {n}")
+    centers = np.empty((n_clusters, X.shape[1]), dtype=float)
+    first = rng.integers(n)
+    centers[0] = X[first]
+    closest = squared_distances(X, centers[:1]).ravel()
+    for i in range(1, n_clusters):
+        total = closest.sum()
+        if total <= 0.0:
+            # All points coincide with chosen centers; fall back to uniform.
+            idx = rng.integers(n)
+        else:
+            idx = rng.choice(n, p=closest / total)
+        centers[i] = X[idx]
+        new_distances = squared_distances(X, centers[i : i + 1]).ravel()
+        np.minimum(closest, new_distances, out=closest)
+    return centers
+
+
+class KMeans:
+    """Lloyd's k-Means with restarts.
+
+    Parameters
+    ----------
+    n_clusters : int
+        Number of centroids ``k``.
+    init : {"k-means++", "random"}
+        Seeding strategy.
+    n_init : int
+        Number of random restarts; the solution with the lowest inertia wins
+        (the paper runs each method 20 times and keeps the best, Section 9.1).
+    max_iter : int
+        Maximum Lloyd iterations per restart (paper: 200).
+    tol : float
+        Stop when total squared centroid movement falls below ``tol``
+        (paper: 1e-4).
+    random_state : None, int or Generator
+        Source of randomness.
+
+    Attributes
+    ----------
+    cluster_centers_ : array of shape (n_clusters, m)
+    labels_ : int array of shape (n,)
+    inertia_ : float
+        Sum of squared distances to assigned centroids (Eq. 1).
+    n_iter_ : int
+        Iterations run by the best restart.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> X = np.array([[0.0, 0.0], [0.1, 0.0], [5.0, 5.0], [5.1, 5.0]])
+    >>> model = KMeans(n_clusters=2, random_state=0).fit(X)
+    >>> sorted(np.bincount(model.labels_).tolist())
+    [2, 2]
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        *,
+        init: str = "k-means++",
+        n_init: int = 10,
+        max_iter: int = 200,
+        tol: float = 1e-4,
+        random_state=None,
+    ) -> None:
+        self.n_clusters = check_positive_int(n_clusters, "n_clusters")
+        self.init = check_in(init, "init", ("k-means++", "random"))
+        self.n_init = check_positive_int(n_init, "n_init")
+        self.max_iter = check_positive_int(max_iter, "max_iter")
+        self.tol = float(tol)
+        self.random_state = random_state
+
+        self.cluster_centers_: Optional[np.ndarray] = None
+        self.labels_: Optional[np.ndarray] = None
+        self.inertia_: float = np.inf
+        self.n_iter_: int = 0
+
+    # ------------------------------------------------------------------ API
+    def fit(self, X, sample_weight=None) -> "KMeans":
+        """Run ``n_init`` restarts of Lloyd's algorithm and keep the best.
+
+        ``sample_weight`` optionally weights each point's contribution to
+        the objective and to the centroid updates (e.g. counts of repeated
+        rows).
+        """
+        X = check_array(X, min_samples=self.n_clusters)
+        weights = _check_sample_weight(sample_weight, X.shape[0])
+        rng = check_random_state(self.random_state)
+
+        best_inertia = np.inf
+        best_centers = None
+        best_labels = None
+        best_iterations = 0
+        for _ in range(self.n_init):
+            centers, labels, run_inertia, iterations = self._single_run(
+                X, rng, weights
+            )
+            if run_inertia < best_inertia:
+                best_inertia = run_inertia
+                best_centers = centers
+                best_labels = labels
+                best_iterations = iterations
+
+        self.cluster_centers_ = best_centers
+        self.labels_ = best_labels
+        self.inertia_ = float(best_inertia)
+        self.n_iter_ = best_iterations
+        return self
+
+    def fit_predict(self, X) -> np.ndarray:
+        """Fit and return the labels of the training data."""
+        return self.fit(X).labels_
+
+    def predict(self, X) -> np.ndarray:
+        """Assign each row of ``X`` to its nearest learned centroid."""
+        self._check_fitted()
+        X = check_array(X)
+        if X.shape[1] != self.cluster_centers_.shape[1]:
+            raise ValidationError(
+                f"X has {X.shape[1]} features, model was fitted with "
+                f"{self.cluster_centers_.shape[1]}"
+            )
+        labels, _ = assign_to_nearest(X, self.cluster_centers_)
+        return labels
+
+    def transform(self, X) -> np.ndarray:
+        """Squared distances of each row of ``X`` to every centroid."""
+        self._check_fitted()
+        X = check_array(X)
+        return squared_distances(X, self.cluster_centers_)
+
+    def score(self, X) -> float:
+        """Negative inertia of ``X`` under the learned centroids."""
+        self._check_fitted()
+        X = check_array(X)
+        _, distances = assign_to_nearest(X, self.cluster_centers_)
+        return -float(distances.sum())
+
+    def parameter_count(self) -> int:
+        """Scalars stored by the summary: ``k · m``."""
+        self._check_fitted()
+        return int(self.cluster_centers_.size)
+
+    # ------------------------------------------------------------ internals
+    def _check_fitted(self) -> None:
+        if self.cluster_centers_ is None:
+            raise NotFittedError("this KMeans instance is not fitted yet; call fit first")
+
+    def _init_centers(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.init == "k-means++":
+            return kmeans_plus_plus_init(X, self.n_clusters, rng)
+        indices = rng.choice(X.shape[0], size=self.n_clusters, replace=False)
+        return X[indices].copy()
+
+    def _single_run(
+        self, X: np.ndarray, rng: np.random.Generator, weights: np.ndarray
+    ):
+        centers = self._init_centers(X, rng)
+        labels = np.zeros(X.shape[0], dtype=np.int64)
+        iterations = 0
+        for iterations in range(1, self.max_iter + 1):
+            labels, min_distances = assign_to_nearest(X, centers)
+            new_centers = centers.copy()
+            counts = np.bincount(labels, weights=weights, minlength=self.n_clusters)
+            sums = np.zeros_like(centers)
+            np.add.at(sums, labels, X * weights[:, None])
+            non_empty = counts > 0
+            new_centers[non_empty] = sums[non_empty] / counts[non_empty, None]
+            # Empty clusters: re-seed on the points farthest from their centroid,
+            # the standard remedy (also used by KR-k-Means, Appendix B).
+            empty = np.flatnonzero(~non_empty)
+            if empty.size:
+                farthest = np.argsort(min_distances * weights)[::-1][: empty.size]
+                new_centers[empty] = X[farthest]
+            shift = float(np.sum((new_centers - centers) ** 2))
+            centers = new_centers
+            if shift < self.tol:
+                break
+        else:  # pragma: no cover - depends on data
+            warnings.warn(
+                f"KMeans did not converge in {self.max_iter} iterations",
+                ConvergenceWarning,
+                stacklevel=2,
+            )
+        labels, min_distances = assign_to_nearest(X, centers)
+        return centers, labels, float((min_distances * weights).sum()), iterations

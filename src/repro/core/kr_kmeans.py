@@ -1,0 +1,413 @@
+"""The Khatri-Rao-k-Means algorithm (paper Section 6, Algorithm 1).
+
+Khatri-Rao k-Means represents ``k = h_1 · h_2 · ... · h_p`` centroids through
+``p`` sets of protocentroids with only ``h_1 + ... + h_p`` stored vectors.
+Each iteration:
+
+1. materializes centroids by aggregating protocentroids (on the fly in the
+   memory-efficient mode, or cached in the time-efficient mode — Appendix B);
+2. assigns every point to its nearest centroid, which induces a per-set
+   assignment through the centroid-index ↔ tuple bijection;
+3. updates each protocentroid in closed form (Proposition 6.1, generalized
+   here to arbitrary ``p``);
+4. stops when the total squared movement of the reconstructed centroids
+   falls below ``tol`` (Algorithm 1, line 20).
+
+Both the sum and product aggregators of the paper are supported, as well as
+random and k-means++-style initialization (Section 6, "Initialization").
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._validation import (
+    check_array,
+    check_cardinalities,
+    check_in,
+    check_positive_int,
+    check_random_state,
+)
+from ..exceptions import ConvergenceWarning, NotFittedError, ValidationError
+from ..linalg import get_aggregator, khatri_rao_combine, num_combinations
+from ._distances import assign_to_nearest, squared_distances
+from .kmeans import _check_sample_weight, kmeans_plus_plus_init
+
+__all__ = ["KhatriRaoKMeans"]
+
+# Entries of the product-aggregator denominator below this threshold keep the
+# previous protocentroid value instead of dividing by ~0.
+_EPSILON = 1e-12
+
+
+class KhatriRaoKMeans:
+    """Khatri-Rao k-Means clustering (Algorithm 1).
+
+    Parameters
+    ----------
+    cardinalities : sequence of int
+        ``(h_1, ..., h_p)`` — the size of each protocentroid set.  The model
+        represents ``h_1 · ... · h_p`` centroids with ``h_1 + ... + h_p``
+        stored vectors.
+    aggregator : {"sum", "product"} or Aggregator
+        The elementwise ``⊕`` combining protocentroids (paper: ``+`` or
+        ``×``).
+    init : {"random", "kr-k-means++"}
+        ``"random"`` samples data points as initial protocentroids
+        (Algorithm 1, lines 3-4); ``"kr-k-means++"`` D²-samples far-apart
+        data points and factors each into per-set protocentroids via the
+        aggregator's exact split (Section 6, "Initialization").
+    n_init : int
+        Restarts; the lowest-inertia solution is kept (paper: 20).
+    max_iter : int
+        Maximum iterations per restart (paper: 200).
+    tol : float
+        Stopping tolerance on total squared centroid movement (paper: 1e-4).
+    mode : {"auto", "time", "memory"}
+        ``"time"`` materializes all ``∏ h_q`` centroids once per iteration;
+        ``"memory"`` computes centroid chunks on the fly so peak memory grows
+        with ``∑ h_q`` instead of ``∏ h_q`` (Appendix B).  ``"auto"`` picks
+        ``"memory"`` when the centroid matrix would dominate the data matrix.
+    chunk_size : int
+        Number of centroids materialized at a time in memory mode.
+    random_state : None, int or Generator
+        Source of randomness.
+
+    Attributes
+    ----------
+    protocentroids_ : list of arrays, set ``q`` has shape ``(h_q, m)``
+    labels_ : int array of shape (n,)
+        Flat centroid index per point (C-order over the tuple indices).
+    set_labels_ : int array of shape (n, p)
+        Per-set protocentroid assignment of each point.
+    inertia_ : float
+    n_iter_ : int
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(0)
+    >>> base = np.array([[0.0, 0.0], [0.0, 8.0], [8.0, 0.0], [8.0, 8.0]])
+    >>> X = np.vstack([b + 0.05 * rng.normal(size=(30, 2)) for b in base])
+    >>> model = KhatriRaoKMeans((2, 2), aggregator="sum", random_state=0).fit(X)
+    >>> model.centroids().shape
+    (4, 2)
+    """
+
+    def __init__(
+        self,
+        cardinalities: Sequence[int],
+        *,
+        aggregator="sum",
+        init: str = "random",
+        n_init: int = 10,
+        max_iter: int = 200,
+        tol: float = 1e-4,
+        mode: str = "auto",
+        chunk_size: int = 256,
+        random_state=None,
+    ) -> None:
+        self.cardinalities = check_cardinalities(cardinalities)
+        self.aggregator = get_aggregator(aggregator)
+        self.init = check_in(init, "init", ("random", "kr-k-means++"))
+        self.n_init = check_positive_int(n_init, "n_init")
+        self.max_iter = check_positive_int(max_iter, "max_iter")
+        self.tol = float(tol)
+        self.mode = check_in(mode, "mode", ("auto", "time", "memory"))
+        self.chunk_size = check_positive_int(chunk_size, "chunk_size")
+        self.random_state = random_state
+
+        self.protocentroids_: Optional[List[np.ndarray]] = None
+        self.labels_: Optional[np.ndarray] = None
+        self.set_labels_: Optional[np.ndarray] = None
+        self.inertia_: float = np.inf
+        self.n_iter_: int = 0
+
+    # ------------------------------------------------------------------ API
+    @property
+    def n_clusters(self) -> int:
+        """Number of representable centroids, ``∏ h_q``."""
+        return num_combinations(self.cardinalities)
+
+    @property
+    def n_protocentroids(self) -> int:
+        """Number of stored vectors, ``∑ h_q``."""
+        return int(sum(self.cardinalities))
+
+    def fit(self, X, sample_weight=None) -> "KhatriRaoKMeans":
+        """Run ``n_init`` restarts of Algorithm 1 and keep the best solution.
+
+        ``sample_weight`` optionally weights each point in the objective and
+        in the closed-form protocentroid updates (the weighted form of
+        Proposition 6.1).
+        """
+        X = check_array(X, min_samples=max(self.cardinalities))
+        weights = _check_sample_weight(sample_weight, X.shape[0])
+        rng = check_random_state(self.random_state)
+        materialize = self._should_materialize(X)
+
+        best = (np.inf, None, None, None, 0)
+        for _ in range(self.n_init):
+            thetas, labels, set_labels, run_inertia, iters = self._single_run(
+                X, rng, materialize, weights
+            )
+            if run_inertia < best[0]:
+                best = (run_inertia, thetas, labels, set_labels, iters)
+
+        self.inertia_ = float(best[0])
+        self.protocentroids_ = best[1]
+        self.labels_ = best[2]
+        self.set_labels_ = best[3]
+        self.n_iter_ = best[4]
+        return self
+
+    def fit_predict(self, X) -> np.ndarray:
+        """Fit and return flat centroid labels for the training data."""
+        return self.fit(X).labels_
+
+    def predict(self, X) -> np.ndarray:
+        """Assign each row of ``X`` to its nearest reconstructed centroid."""
+        self._check_fitted()
+        X = check_array(X)
+        if X.shape[1] != self.protocentroids_[0].shape[1]:
+            raise ValidationError(
+                f"X has {X.shape[1]} features, model was fitted with "
+                f"{self.protocentroids_[0].shape[1]}"
+            )
+        labels, _ = self._assign(X, self.protocentroids_, self._should_materialize(X))
+        return labels
+
+    def centroids(self) -> np.ndarray:
+        """Materialize the full ``(∏ h_q, m)`` centroid matrix."""
+        self._check_fitted()
+        return khatri_rao_combine(self.protocentroids_, self.aggregator)
+
+    def parameter_count(self) -> int:
+        """Scalars stored by the summary: ``(∑ h_q) · m``."""
+        self._check_fitted()
+        return int(sum(theta.size for theta in self.protocentroids_))
+
+    def set_assignments(self, labels: Optional[np.ndarray] = None) -> np.ndarray:
+        """Decode flat centroid labels into per-set protocentroid indices."""
+        if labels is None:
+            self._check_fitted()
+            labels = self.labels_
+        labels = np.asarray(labels, dtype=np.int64).ravel()
+        decoded = np.unravel_index(labels, self.cardinalities)
+        return np.stack(decoded, axis=1)
+
+    # ------------------------------------------------------------ internals
+    def _check_fitted(self) -> None:
+        if self.protocentroids_ is None:
+            raise NotFittedError(
+                "this KhatriRaoKMeans instance is not fitted yet; call fit first"
+            )
+
+    def _should_materialize(self, X: np.ndarray) -> bool:
+        if self.mode == "time":
+            return True
+        if self.mode == "memory":
+            return False
+        # auto: materialize unless the centroid matrix would rival the data.
+        return self.n_clusters * X.shape[1] <= max(X.size, 4 * self.chunk_size * X.shape[1])
+
+    # -- initialization ----------------------------------------------------
+    def _init_protocentroids(
+        self, X: np.ndarray, rng: np.random.Generator
+    ) -> List[np.ndarray]:
+        if self.init == "random":
+            # Sample data points per set, then factor each through the
+            # aggregator's exact split so the *initial centroids* (the
+            # aggregation of one protocentroid per set) stay inside the data
+            # range: raw points would start centroids at e.g. x_i + x_j for
+            # the sum aggregator, far outside the hull (Appendix B).
+            p = len(self.cardinalities)
+            thetas = []
+            for q, h in enumerate(self.cardinalities):
+                samples = X[rng.choice(X.shape[0], size=h, replace=X.shape[0] < h)]
+                block = np.empty((h, X.shape[1]), dtype=float)
+                for j in range(h):
+                    block[j] = self.aggregator.split(samples[j], p)[q]
+                thetas.append(block)
+            return thetas
+        return self._init_plus_plus(X, rng)
+
+    def _init_plus_plus(self, X: np.ndarray, rng: np.random.Generator) -> List[np.ndarray]:
+        # Sample sum(h_q) far-apart data points with k-means++ D²-sampling,
+        # then factor each sampled point x into p parts whose aggregation
+        # reproduces x; set q keeps the q-th part of its own samples
+        # (Section 6, "Initialization").
+        p = len(self.cardinalities)
+        total = sum(self.cardinalities)
+        seeds = kmeans_plus_plus_init(X, min(total, X.shape[0]), rng)
+        if seeds.shape[0] < total:
+            extra = X[rng.choice(X.shape[0], size=total - seeds.shape[0])]
+            seeds = np.vstack([seeds, extra])
+        thetas = []
+        offset = 0
+        for q, h in enumerate(self.cardinalities):
+            block = np.empty((h, X.shape[1]), dtype=float)
+            for j in range(h):
+                parts = self.aggregator.split(seeds[offset + j], p)
+                block[j] = parts[q]
+            thetas.append(block)
+            offset += h
+        return thetas
+
+    # -- assignment ---------------------------------------------------------
+    def _assign(
+        self, X: np.ndarray, thetas: List[np.ndarray], materialize: bool
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        if materialize:
+            centroids = khatri_rao_combine(thetas, self.aggregator)
+            return assign_to_nearest(X, centroids)
+        return self._assign_chunked(X, thetas)
+
+    def _assign_chunked(
+        self, X: np.ndarray, thetas: List[np.ndarray]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        n = X.shape[0]
+        k = self.n_clusters
+        labels = np.zeros(n, dtype=np.int64)
+        best = np.full(n, np.inf)
+        for start in range(0, k, self.chunk_size):
+            stop = min(start + self.chunk_size, k)
+            chunk = self._materialize_chunk(thetas, start, stop)
+            distances = squared_distances(X, chunk)
+            chunk_labels = np.argmin(distances, axis=1)
+            chunk_best = distances[np.arange(n), chunk_labels]
+            improved = chunk_best < best
+            labels[improved] = chunk_labels[improved] + start
+            best[improved] = chunk_best[improved]
+        return labels, best
+
+    def _materialize_chunk(
+        self, thetas: List[np.ndarray], start: int, stop: int
+    ) -> np.ndarray:
+        flat = np.arange(start, stop)
+        tuple_indices = np.unravel_index(flat, self.cardinalities)
+        parts = [theta[idx] for theta, idx in zip(thetas, tuple_indices)]
+        return self.aggregator.combine(parts)
+
+    # -- protocentroid updates (Proposition 6.1, generalized to p sets) -----
+    def _rest_contribution(
+        self,
+        thetas: List[np.ndarray],
+        set_labels: np.ndarray,
+        excluded_set: int,
+        feature_dim: int,
+    ) -> np.ndarray:
+        """Aggregate, per point, the protocentroids of every set but one."""
+        parts = [
+            thetas[l][set_labels[:, l]]
+            for l in range(len(thetas))
+            if l != excluded_set
+        ]
+        if not parts:
+            return self.aggregator.identity((set_labels.shape[0], feature_dim))
+        return self.aggregator.combine(parts)
+
+    def _update_protocentroids(
+        self,
+        X: np.ndarray,
+        thetas: List[np.ndarray],
+        set_labels: np.ndarray,
+        rng: np.random.Generator,
+        weights: Optional[np.ndarray] = None,
+    ) -> List[np.ndarray]:
+        m = X.shape[1]
+        if weights is None:
+            weights = np.ones(X.shape[0])
+        w_column = weights[:, None]
+        is_product = self.aggregator.name == "product"
+        new_thetas = [theta.copy() for theta in thetas]
+        for q, h in enumerate(self.cardinalities):
+            rest = self._rest_contribution(new_thetas, set_labels, q, m)
+            assignments = set_labels[:, q]
+            numerator = np.zeros((h, m), dtype=float)
+            if is_product:
+                # θ_q^j = Σ w·x ⊙ rest / Σ w·rest ⊙ rest over points with a_q = j
+                # (weighted Proposition 6.1).
+                denominator = np.zeros((h, m), dtype=float)
+                np.add.at(numerator, assignments, X * rest * w_column)
+                np.add.at(denominator, assignments, rest * rest * w_column)
+                safe = denominator > _EPSILON
+                updated = new_thetas[q].copy()
+                updated[safe] = numerator[safe] / denominator[safe]
+            else:
+                # θ_q^j = Σ w·(x − rest) / Σ w over points with a_q = j.
+                mass = np.bincount(assignments, weights=weights, minlength=h)
+                np.add.at(numerator, assignments, (X - rest) * w_column)
+                updated = new_thetas[q].copy()
+                non_empty = mass > 0
+                updated[non_empty] = numerator[non_empty] / mass[non_empty, None]
+            # Re-seed protocentroids with no assigned mass (Appendix B).
+            mass = np.bincount(assignments, weights=weights, minlength=h)
+            for j in np.flatnonzero(mass == 0):
+                parts = self.aggregator.split(X[rng.integers(X.shape[0])], len(thetas))
+                updated[j] = parts[q]
+            new_thetas[q] = updated
+        return new_thetas
+
+    # -- main loop -----------------------------------------------------------
+    def _single_run(
+        self,
+        X: np.ndarray,
+        rng: np.random.Generator,
+        materialize: bool,
+        weights: Optional[np.ndarray] = None,
+    ):
+        if weights is None:
+            weights = np.ones(X.shape[0])
+        thetas = self._init_protocentroids(X, rng)
+        self._previous_thetas = None  # reset memory-mode shift tracking per run
+        old_centroids = khatri_rao_combine(thetas, self.aggregator) if materialize else None
+        labels = np.zeros(X.shape[0], dtype=np.int64)
+        min_distances = np.zeros(X.shape[0])
+        iterations = 0
+        for iterations in range(1, self.max_iter + 1):
+            labels, min_distances = self._assign(X, thetas, materialize)
+            set_labels = self.set_assignments(labels)
+            thetas = self._update_protocentroids(X, thetas, set_labels, rng, weights)
+            shift = self._centroid_shift(thetas, old_centroids, materialize)
+            if materialize:
+                old_centroids = khatri_rao_combine(thetas, self.aggregator)
+            if shift < self.tol:
+                break
+        else:  # pragma: no cover - depends on data
+            warnings.warn(
+                f"KhatriRaoKMeans did not converge in {self.max_iter} iterations",
+                ConvergenceWarning,
+                stacklevel=2,
+            )
+        labels, min_distances = self._assign(X, thetas, materialize)
+        set_labels = self.set_assignments(labels)
+        weighted_inertia = float((min_distances * weights).sum())
+        return thetas, labels, set_labels, weighted_inertia, iterations
+
+    def _centroid_shift(
+        self,
+        thetas: List[np.ndarray],
+        old_centroids: Optional[np.ndarray],
+        materialize: bool,
+    ) -> float:
+        if materialize and old_centroids is not None:
+            new_centroids = khatri_rao_combine(thetas, self.aggregator)
+            return float(np.sum((new_centroids - old_centroids) ** 2))
+        # Memory mode: measure movement chunk by chunk against the cached
+        # previous protocentroids to avoid materializing all centroids.
+        if not hasattr(self, "_previous_thetas") or self._previous_thetas is None:
+            self._previous_thetas = [theta.copy() for theta in thetas]
+            return np.inf
+        shift = 0.0
+        k = self.n_clusters
+        for start in range(0, k, self.chunk_size):
+            stop = min(start + self.chunk_size, k)
+            new_chunk = self._materialize_chunk(thetas, start, stop)
+            old_chunk = self._materialize_chunk(self._previous_thetas, start, stop)
+            shift += float(np.sum((new_chunk - old_chunk) ** 2))
+        self._previous_thetas = [theta.copy() for theta in thetas]
+        return shift

@@ -1,0 +1,211 @@
+"""Mini-batch Khatri-Rao-k-Means (web-scale extension, paper Section 4).
+
+The paper notes that Khatri-Rao extensions of gradient-descent-based
+clustering "are possible but require method-specific adjustments", citing
+Sculley's web-scale mini-batch k-means.  This module provides that
+adjustment: a streaming variant of Algorithm 1 whose protocentroid updates
+use per-batch sufficient statistics with per-protocentroid learning rates
+``1 / count`` (the mini-batch k-means schedule), so each pass touches only a
+batch of the data.
+
+The closed-form structure of Proposition 6.1 carries over: for a batch, the
+same numerators/denominators are computed, and the protocentroid moves a
+step toward the batch-optimal value instead of jumping to it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .._validation import (
+    check_array,
+    check_cardinalities,
+    check_positive_int,
+    check_random_state,
+)
+from ..exceptions import NotFittedError
+from ..linalg import get_aggregator, khatri_rao_combine, num_combinations
+from ._distances import assign_to_nearest
+
+__all__ = ["MiniBatchKhatriRaoKMeans"]
+
+_EPSILON = 1e-12
+
+
+class MiniBatchKhatriRaoKMeans:
+    """Streaming Khatri-Rao-k-Means with mini-batch updates.
+
+    Parameters
+    ----------
+    cardinalities : sequence of int
+        Protocentroid set sizes ``(h_1, ..., h_p)``.
+    aggregator : {"sum", "product"}
+    batch_size : int
+        Points sampled per update step.
+    max_steps : int
+        Total mini-batch steps in :meth:`fit`.
+    reassignment_tol : float
+        Convergence tolerance on the exponentially-averaged centroid shift.
+    random_state : None, int or Generator
+
+    Attributes
+    ----------
+    protocentroids_ : list of arrays
+    labels_ : labels of the full training data after the final step.
+    inertia_ : float
+    n_steps_ : int
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.datasets import make_blobs
+    >>> X, _ = make_blobs(500, n_clusters=9, random_state=0)
+    >>> model = MiniBatchKhatriRaoKMeans((3, 3), batch_size=64,
+    ...                                  random_state=0).fit(X)
+    >>> model.centroids().shape
+    (9, 2)
+    """
+
+    def __init__(
+        self,
+        cardinalities: Sequence[int],
+        *,
+        aggregator="sum",
+        batch_size: int = 256,
+        max_steps: int = 100,
+        reassignment_tol: float = 1e-4,
+        random_state=None,
+    ) -> None:
+        self.cardinalities = check_cardinalities(cardinalities)
+        self.aggregator = get_aggregator(aggregator)
+        self.batch_size = check_positive_int(batch_size, "batch_size")
+        self.max_steps = check_positive_int(max_steps, "max_steps")
+        self.reassignment_tol = float(reassignment_tol)
+        self.random_state = random_state
+
+        self.protocentroids_: Optional[List[np.ndarray]] = None
+        self.labels_: Optional[np.ndarray] = None
+        self.inertia_: float = np.inf
+        self.n_steps_: int = 0
+        self._counts: Optional[List[np.ndarray]] = None
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of representable centroids, ``∏ h_q``."""
+        return num_combinations(self.cardinalities)
+
+    # ------------------------------------------------------------------ API
+    def fit(self, X) -> "MiniBatchKhatriRaoKMeans":
+        """Run ``max_steps`` mini-batch steps over ``X``."""
+        X = check_array(X, min_samples=max(self.cardinalities))
+        rng = check_random_state(self.random_state)
+        self._initialize(X, rng)
+        smoothed_shift = np.inf
+        for step in range(1, self.max_steps + 1):
+            batch = X[rng.choice(X.shape[0], size=min(self.batch_size, X.shape[0]),
+                                 replace=False)]
+            shift = self.partial_fit_batch(batch, rng)
+            smoothed_shift = shift if not np.isfinite(smoothed_shift) else (
+                0.7 * smoothed_shift + 0.3 * shift
+            )
+            self.n_steps_ = step
+            if smoothed_shift < self.reassignment_tol:
+                break
+        centroids = self.centroids()
+        self.labels_, distances = assign_to_nearest(X, centroids)
+        self.inertia_ = float(distances.sum())
+        return self
+
+    def partial_fit(self, batch) -> "MiniBatchKhatriRaoKMeans":
+        """Incrementally update the model with one batch (online use)."""
+        batch = check_array(batch)
+        rng = check_random_state(self.random_state)
+        if self.protocentroids_ is None:
+            self._initialize(batch, rng)
+        self.partial_fit_batch(batch, rng)
+        self.n_steps_ += 1
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Assign rows of ``X`` to their nearest reconstructed centroid."""
+        if self.protocentroids_ is None:
+            raise NotFittedError(
+                "MiniBatchKhatriRaoKMeans is not fitted yet; call fit first"
+            )
+        X = check_array(X)
+        labels, _ = assign_to_nearest(X, self.centroids())
+        return labels
+
+    def centroids(self) -> np.ndarray:
+        """Materialize the centroid matrix from the protocentroids."""
+        if self.protocentroids_ is None:
+            raise NotFittedError(
+                "MiniBatchKhatriRaoKMeans is not fitted yet; call fit first"
+            )
+        return khatri_rao_combine(self.protocentroids_, self.aggregator)
+
+    def parameter_count(self) -> int:
+        """Scalars stored by the summary: ``(∑ h_q) · m``."""
+        if self.protocentroids_ is None:
+            raise NotFittedError(
+                "MiniBatchKhatriRaoKMeans is not fitted yet; call fit first"
+            )
+        return int(sum(theta.size for theta in self.protocentroids_))
+
+    # ------------------------------------------------------------ internals
+    def _initialize(self, X: np.ndarray, rng: np.random.Generator) -> None:
+        p = len(self.cardinalities)
+        thetas = []
+        for q, h in enumerate(self.cardinalities):
+            samples = X[rng.choice(X.shape[0], size=h, replace=X.shape[0] < h)]
+            block = np.empty((h, X.shape[1]))
+            for j in range(h):
+                block[j] = self.aggregator.split(samples[j], p)[q]
+            thetas.append(block)
+        self.protocentroids_ = thetas
+        self._counts = [np.zeros(h) for h in self.cardinalities]
+
+    def partial_fit_batch(self, batch: np.ndarray, rng: np.random.Generator) -> float:
+        """One mini-batch step; returns the total squared protocentroid shift."""
+        thetas = self.protocentroids_
+        centroids = khatri_rao_combine(thetas, self.aggregator)
+        labels, _ = assign_to_nearest(batch, centroids)
+        set_labels = np.stack(np.unravel_index(labels, self.cardinalities), axis=1)
+        is_product = self.aggregator.name == "product"
+        total_shift = 0.0
+        for q, h in enumerate(self.cardinalities):
+            rest_parts = [
+                thetas[l][set_labels[:, l]]
+                for l in range(len(thetas))
+                if l != q
+            ]
+            if rest_parts:
+                rest = self.aggregator.combine(rest_parts)
+            else:
+                rest = self.aggregator.identity(batch.shape)
+            assignments = set_labels[:, q]
+            numerator = np.zeros((h, batch.shape[1]))
+            if is_product:
+                denominator = np.zeros((h, batch.shape[1]))
+                np.add.at(numerator, assignments, batch * rest)
+                np.add.at(denominator, assignments, rest * rest)
+            else:
+                np.add.at(numerator, assignments, batch - rest)
+            batch_counts = np.bincount(assignments, minlength=h).astype(float)
+            for j in np.flatnonzero(batch_counts > 0):
+                if is_product:
+                    safe = denominator[j] > _EPSILON
+                    target = thetas[q][j].copy()
+                    target[safe] = numerator[j][safe] / denominator[j][safe]
+                else:
+                    target = numerator[j] / batch_counts[j]
+                # Mini-batch schedule: learning rate decays with the total
+                # number of points this protocentroid has absorbed.
+                self._counts[q][j] += batch_counts[j]
+                eta = batch_counts[j] / self._counts[q][j]
+                updated = (1.0 - eta) * thetas[q][j] + eta * target
+                total_shift += float(np.sum((updated - thetas[q][j]) ** 2))
+                thetas[q][j] = updated
+        return total_shift

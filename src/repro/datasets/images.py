@@ -1,0 +1,387 @@
+"""Image-like and sensor-like dataset generators (paper Appendix A stand-ins).
+
+Offline substitutes for MNIST / optdigits (procedural digit glyphs),
+Double MNIST (pair concatenation — genuinely Khatri-Rao structured),
+stickfigures (the paper's Figure 1 dataset, rebuilt from its description:
+upper-body pose × lower-body pose on a 20×20 grid), Olivetti/CMU-style faces
+(smooth per-person base images plus pose perturbations), Symbols (1-D drawing
+trajectories) and HAR (multivariate sensor feature vectors).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .._validation import check_positive_int, check_random_state
+from ..exceptions import ValidationError
+
+__all__ = [
+    "make_digit_images",
+    "make_double_digits",
+    "make_stickfigures",
+    "make_faces",
+    "make_symbols",
+    "make_har_features",
+]
+
+# 7x5 bitmap font for the ten digits; the archetypes behind the MNIST-like
+# and optdigits-like generators.
+_DIGIT_GLYPHS = {
+    0: ["01110", "10001", "10011", "10101", "11001", "10001", "01110"],
+    1: ["00100", "01100", "00100", "00100", "00100", "00100", "01110"],
+    2: ["01110", "10001", "00001", "00110", "01000", "10000", "11111"],
+    3: ["11110", "00001", "00001", "01110", "00001", "00001", "11110"],
+    4: ["00010", "00110", "01010", "10010", "11111", "00010", "00010"],
+    5: ["11111", "10000", "11110", "00001", "00001", "10001", "01110"],
+    6: ["00110", "01000", "10000", "11110", "10001", "10001", "01110"],
+    7: ["11111", "00001", "00010", "00100", "01000", "01000", "01000"],
+    8: ["01110", "10001", "10001", "01110", "10001", "10001", "01110"],
+    9: ["01110", "10001", "10001", "01111", "00001", "00010", "01100"],
+}
+
+
+def _glyph_bitmap(digit: int) -> np.ndarray:
+    rows = _DIGIT_GLYPHS[int(digit)]
+    return np.array([[float(c) for c in row] for row in rows])
+
+
+def _resize_nearest(image: np.ndarray, out_h: int, out_w: int) -> np.ndarray:
+    """Nearest-neighbour resize — sufficient for blocky glyph archetypes."""
+    in_h, in_w = image.shape
+    row_idx = np.minimum((np.arange(out_h) * in_h) // out_h, in_h - 1)
+    col_idx = np.minimum((np.arange(out_w) * in_w) // out_w, in_w - 1)
+    return image[np.ix_(row_idx, col_idx)]
+
+
+def _blur(image: np.ndarray, passes: int = 1) -> np.ndarray:
+    """Cheap separable 3-tap blur softening glyph edges (stroke thickness)."""
+    kernel = np.array([0.25, 0.5, 0.25])
+    result = image
+    for _ in range(passes):
+        padded = np.pad(result, ((1, 1), (0, 0)), mode="edge")
+        result = (
+            kernel[0] * padded[:-2] + kernel[1] * padded[1:-1] + kernel[2] * padded[2:]
+        )
+        padded = np.pad(result, ((0, 0), (1, 1)), mode="edge")
+        result = (
+            kernel[0] * padded[:, :-2]
+            + kernel[1] * padded[:, 1:-1]
+            + kernel[2] * padded[:, 2:]
+        )
+    return result
+
+
+def _shift(image: np.ndarray, dy: int, dx: int) -> np.ndarray:
+    result = np.zeros_like(image)
+    h, w = image.shape
+    ys = slice(max(dy, 0), min(h + dy, h))
+    xs = slice(max(dx, 0), min(w + dx, w))
+    ys_src = slice(max(-dy, 0), min(h - dy, h))
+    xs_src = slice(max(-dx, 0), min(w - dx, w))
+    result[ys, xs] = image[ys_src, xs_src]
+    return result
+
+
+def _render_digit(
+    digit: int, side: int, rng: np.random.Generator, *, max_shift: int
+) -> np.ndarray:
+    margin = max(1, side // 7)
+    body = _resize_nearest(_glyph_bitmap(digit), side - 2 * margin, side - 2 * margin)
+    canvas = np.zeros((side, side))
+    canvas[margin : side - margin, margin : side - margin] = body
+    canvas = _blur(canvas, passes=1 if side <= 12 else 2)
+    if max_shift:
+        canvas = _shift(
+            canvas,
+            int(rng.integers(-max_shift, max_shift + 1)),
+            int(rng.integers(-max_shift, max_shift + 1)),
+        )
+    canvas = canvas * rng.uniform(0.8, 1.0) + 0.05 * rng.random(canvas.shape)
+    return np.clip(canvas, 0.0, 1.0)
+
+
+def make_digit_images(
+    n_samples: int = 5000,
+    *,
+    side: int = 28,
+    n_digits: int = 10,
+    random_state=None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Procedural handwritten-digit stand-in (MNIST-like / optdigits-like).
+
+    Parameters
+    ----------
+    side : int
+        Image side length; 28 mimics MNIST (784 features), 8 optdigits (64).
+    n_digits : int
+        Number of digit classes (≤ 10).
+
+    Returns
+    -------
+    (X, y) : vectorized images of shape (n_samples, side*side) in [0, 1],
+        and digit labels.
+    """
+    n_samples = check_positive_int(n_samples, "n_samples")
+    side = check_positive_int(side, "side", minimum=7)
+    n_digits = check_positive_int(n_digits, "n_digits")
+    if n_digits > 10:
+        raise ValidationError("at most 10 digit classes are available")
+    rng = check_random_state(random_state)
+    max_shift = max(0, side // 14)
+    X = np.empty((n_samples, side * side))
+    y = rng.integers(0, n_digits, size=n_samples).astype(np.int64)
+    for i in range(n_samples):
+        X[i] = _render_digit(int(y[i]), side, rng, max_shift=max_shift).ravel()
+    return X, y
+
+
+def make_double_digits(
+    n_samples: int = 10000,
+    *,
+    side: int = 28,
+    n_digits: int = 10,
+    random_state=None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Double-MNIST-style dataset: horizontal concatenation of digit pairs.
+
+    The label encodes the ordered pair (``10 * left + right``), yielding
+    ``n_digits²`` clusters.  By construction the clusters admit an additive
+    Khatri-Rao structure: the left half depends only on the first
+    protocentroid index and the right half only on the second (Appendix A).
+    """
+    n_samples = check_positive_int(n_samples, "n_samples")
+    rng = check_random_state(random_state)
+    max_shift = max(0, side // 14)
+    X = np.empty((n_samples, 2 * side * side))
+    left = rng.integers(0, n_digits, size=n_samples)
+    right = rng.integers(0, n_digits, size=n_samples)
+    y = (left * n_digits + right).astype(np.int64)
+    for i in range(n_samples):
+        a = _render_digit(int(left[i]), side, rng, max_shift=max_shift)
+        b = _render_digit(int(right[i]), side, rng, max_shift=max_shift)
+        X[i] = np.hstack([a, b]).ravel()
+    return X, y
+
+
+# --------------------------------------------------------------------- sticks
+def _draw_line(canvas: np.ndarray, r0, c0, r1, c1) -> None:
+    """Rasterize a line segment with simple dense interpolation."""
+    steps = int(4 * max(abs(r1 - r0), abs(c1 - c0)) + 1)
+    t = np.linspace(0.0, 1.0, steps)
+    rows = np.clip(np.round(r0 + t * (r1 - r0)).astype(int), 0, canvas.shape[0] - 1)
+    cols = np.clip(np.round(c0 + t * (c1 - c0)).astype(int), 0, canvas.shape[1] - 1)
+    canvas[rows, cols] = 1.0
+
+
+def _stickfigure(upper_pose: int, lower_pose: int, side: int = 20) -> np.ndarray:
+    """Render a stick figure: head+torso+arms (upper) and legs (lower).
+
+    Three upper poses (arms up / horizontal / down) and three lower poses
+    (legs straight / apart / one bent) combine additively into 9 figures,
+    mirroring the paper's Figure 1 dataset.
+    """
+    canvas = np.zeros((side, side))
+    cx = side // 2
+    head_r = side // 10 + 1
+    head_center = (side // 6, cx)
+    # Head: small circle.
+    for r in range(side):
+        for c in range(side):
+            if (r - head_center[0]) ** 2 + (c - head_center[1]) ** 2 <= head_r**2:
+                canvas[r, c] = 1.0
+    neck = head_center[0] + head_r
+    hip = int(0.6 * side)
+    _draw_line(canvas, neck, cx, hip, cx)  # torso
+    shoulder = neck + 1
+    arm = int(0.25 * side)
+    if upper_pose == 0:  # arms up
+        _draw_line(canvas, shoulder, cx, shoulder - arm, cx - arm)
+        _draw_line(canvas, shoulder, cx, shoulder - arm, cx + arm)
+    elif upper_pose == 1:  # arms horizontal
+        _draw_line(canvas, shoulder, cx, shoulder, cx - arm)
+        _draw_line(canvas, shoulder, cx, shoulder, cx + arm)
+    else:  # arms down
+        _draw_line(canvas, shoulder, cx, shoulder + arm, cx - arm)
+        _draw_line(canvas, shoulder, cx, shoulder + arm, cx + arm)
+    leg = int(0.3 * side)
+    if lower_pose == 0:  # straight
+        _draw_line(canvas, hip, cx, hip + leg, cx - 1)
+        _draw_line(canvas, hip, cx, hip + leg, cx + 1)
+    elif lower_pose == 1:  # apart
+        _draw_line(canvas, hip, cx, hip + leg, cx - leg)
+        _draw_line(canvas, hip, cx, hip + leg, cx + leg)
+    else:  # one leg bent
+        _draw_line(canvas, hip, cx, hip + leg, cx - leg)
+        _draw_line(canvas, hip, cx, hip + leg // 2, cx + leg // 2)
+        _draw_line(canvas, hip + leg // 2, cx + leg // 2, hip + leg, cx + leg // 2 + 1)
+    return canvas
+
+
+def make_stickfigures(
+    n_samples: int = 900, *, side: int = 20, noise: float = 0.05, random_state=None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The stickfigures dataset of Figure 1: 3 upper × 3 lower poses.
+
+    Labels are flat centroid indices ``3 * upper + lower``; the nine cluster
+    prototypes decompose exactly into two additive sets of protocentroids
+    (upper-body images and lower-body images).
+    """
+    n_samples = check_positive_int(n_samples, "n_samples")
+    rng = check_random_state(random_state)
+    prototypes = {
+        (u, l): _stickfigure(u, l, side) for u in range(3) for l in range(3)
+    }
+    X = np.empty((n_samples, side * side))
+    y = np.empty(n_samples, dtype=np.int64)
+    for i in range(n_samples):
+        u = int(rng.integers(3))
+        l = int(rng.integers(3))
+        image = prototypes[(u, l)] + noise * rng.normal(size=(side, side))
+        X[i] = np.clip(image, 0.0, 1.0).ravel()
+        y[i] = 3 * u + l
+    return X, y
+
+
+# ---------------------------------------------------------------------- faces
+def _smooth_field(side_h: int, side_w: int, rng: np.random.Generator) -> np.ndarray:
+    """Low-frequency random field: coarse noise upsampled bilinearly."""
+    coarse = rng.normal(size=(5, 5))
+    rows = np.linspace(0, 4, side_h)
+    cols = np.linspace(0, 4, side_w)
+    r0 = np.floor(rows).astype(int)
+    c0 = np.floor(cols).astype(int)
+    r1 = np.minimum(r0 + 1, 4)
+    c1 = np.minimum(c0 + 1, 4)
+    fr = (rows - r0)[:, None]
+    fc = (cols - c0)[None, :]
+    top = coarse[np.ix_(r0, c0)] * (1 - fc) + coarse[np.ix_(r0, c1)] * fc
+    bottom = coarse[np.ix_(r1, c0)] * (1 - fc) + coarse[np.ix_(r1, c1)] * fc
+    return top * (1 - fr) + bottom * fr
+
+
+def make_faces(
+    n_persons: int = 40,
+    images_per_person: int = 10,
+    *,
+    height: int = 64,
+    width: int = 64,
+    pose_std: float = 0.25,
+    random_state=None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Olivetti/CMU-style faces: per-person smooth base + pose perturbations.
+
+    Each person is a smooth random field masked to an elliptical face region;
+    individual images add a smaller smooth perturbation (pose, lighting,
+    expression).  Clusters therefore correspond to persons, with strong
+    within-cluster correlation — the regime of the paper's face datasets.
+    """
+    n_persons = check_positive_int(n_persons, "n_persons")
+    images_per_person = check_positive_int(images_per_person, "images_per_person")
+    rng = check_random_state(random_state)
+    rows = np.arange(height)[:, None]
+    cols = np.arange(width)[None, :]
+    mask = (
+        ((rows - height / 2.0) / (0.45 * height)) ** 2
+        + ((cols - width / 2.0) / (0.38 * width)) ** 2
+    ) <= 1.0
+
+    n_samples = n_persons * images_per_person
+    X = np.empty((n_samples, height * width))
+    y = np.empty(n_samples, dtype=np.int64)
+    i = 0
+    for person in range(n_persons):
+        base = 0.5 + 0.25 * _smooth_field(height, width, rng)
+        for _ in range(images_per_person):
+            perturbation = pose_std * _smooth_field(height, width, rng)
+            image = np.clip((base + perturbation) * mask, 0.0, 1.0)
+            X[i] = image.ravel()
+            y[i] = person
+            i += 1
+    order = rng.permutation(n_samples)
+    return X[order], y[order]
+
+
+# -------------------------------------------------------------------- symbols
+def make_symbols(
+    n_samples: int = 1020,
+    *,
+    length: int = 398,
+    n_classes: int = 6,
+    noise: float = 0.08,
+    random_state=None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Symbols-style 1-D drawing trajectories.
+
+    Six smooth prototype curves (sine families, ramps, triangles, bumps)
+    with per-sample amplitude and phase jitter — a stand-in for vectorized
+    handwriting trajectories.
+    """
+    n_samples = check_positive_int(n_samples, "n_samples")
+    length = check_positive_int(length, "length")
+    n_classes = check_positive_int(n_classes, "n_classes")
+    if n_classes > 6:
+        raise ValidationError("at most 6 symbol classes are available")
+    rng = check_random_state(random_state)
+    t = np.linspace(0.0, 1.0, length)
+    prototypes = [
+        np.sin(2.0 * np.pi * t),
+        np.sin(4.0 * np.pi * t) * (1.0 - t),
+        2.0 * t - 1.0,
+        1.0 - 4.0 * np.abs(t - 0.5),
+        np.exp(-((t - 0.3) ** 2) / 0.01) - np.exp(-((t - 0.7) ** 2) / 0.01),
+        np.cos(2.0 * np.pi * t) * t,
+    ]
+    X = np.empty((n_samples, length))
+    y = rng.integers(0, n_classes, size=n_samples).astype(np.int64)
+    for i in range(n_samples):
+        proto = prototypes[int(y[i])]
+        amplitude = rng.uniform(0.8, 1.2)
+        phase_shift = int(rng.integers(-length // 20, length // 20 + 1))
+        curve = amplitude * np.roll(proto, phase_shift)
+        X[i] = curve + noise * rng.normal(size=length)
+    return X, y
+
+
+# ------------------------------------------------------------------------ HAR
+def make_har_features(
+    n_samples: int = 10299,
+    *,
+    n_features: int = 561,
+    n_classes: int = 6,
+    imbalance_ratio: float = 0.72,
+    class_sep: float = 1.5,
+    random_state=None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """HAR-style activity features: per-class correlated Gaussian clusters.
+
+    Each activity class has a dense mean vector plus low-rank within-class
+    correlation (sensor channels co-vary), with the moderate class imbalance
+    of Table 1 (IR = 0.72).
+    """
+    n_samples = check_positive_int(n_samples, "n_samples")
+    n_features = check_positive_int(n_features, "n_features")
+    n_classes = check_positive_int(n_classes, "n_classes")
+    rng = check_random_state(random_state)
+    means = class_sep * rng.normal(size=(n_classes, n_features))
+    rank = min(10, n_features)
+    mixers = [rng.normal(size=(rank, n_features)) / np.sqrt(rank) for _ in range(n_classes)]
+
+    weights = np.linspace(imbalance_ratio, 1.0, n_classes)
+    rng.shuffle(weights)
+    sizes = np.maximum(1, np.round(weights / weights.sum() * n_samples).astype(int))
+    sizes[np.argmax(sizes)] += n_samples - sizes.sum()
+
+    X = np.empty((n_samples, n_features))
+    y = np.empty(n_samples, dtype=np.int64)
+    offset = 0
+    for label, size in enumerate(sizes):
+        latent = rng.normal(size=(size, rank))
+        X[offset : offset + size] = (
+            means[label] + latent @ mixers[label] + 0.3 * rng.normal(size=(size, n_features))
+        )
+        y[offset : offset + size] = label
+        offset += size
+    order = rng.permutation(n_samples)
+    return X[order], y[order]

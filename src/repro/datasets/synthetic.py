@@ -1,0 +1,382 @@
+"""Synthetic tabular / 2-D dataset generators (paper Section 9.1, Appendix A).
+
+Reimplementations of the scikit-learn-style generators the paper uses
+(``Blobs``, ``Classification``), the clustbench layouts (``R15``,
+``Chameleon``), a categorical Soybean-like generator, the Khatri-Rao
+structured data of Figure 4 and the color-quantization image of Figure 9.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .._validation import check_positive_int, check_random_state
+from ..exceptions import ValidationError
+from ..linalg import khatri_rao_combine
+
+__all__ = [
+    "make_blobs",
+    "make_classification",
+    "make_khatri_rao_blobs",
+    "make_r15",
+    "make_chameleon",
+    "make_soybean_like",
+    "make_quantization_image",
+]
+
+
+def make_blobs(
+    n_samples: int = 5000,
+    n_features: int = 2,
+    n_clusters: int = 100,
+    *,
+    cluster_std: float = 1.0,
+    center_box: Tuple[float, float] = (-10.0, 10.0),
+    random_state=None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Isotropic Gaussian blobs (the paper's ``Blobs`` dataset).
+
+    Cluster centers are drawn uniformly in ``center_box`` (scaled up with the
+    number of clusters so blobs stay separable) and samples are distributed
+    evenly across clusters, matching the dataset's imbalance ratio of 1.0.
+
+    Returns
+    -------
+    (X, y) : arrays of shape (n_samples, n_features) and (n_samples,)
+    """
+    n_samples = check_positive_int(n_samples, "n_samples")
+    n_features = check_positive_int(n_features, "n_features")
+    n_clusters = check_positive_int(n_clusters, "n_clusters")
+    rng = check_random_state(random_state)
+    low, high = center_box
+    # Widen the box with the cluster count so density stays roughly constant.
+    scale = max(1.0, (n_clusters / 10.0) ** (1.0 / n_features))
+    centers = rng.uniform(low * scale, high * scale, size=(n_clusters, n_features))
+    sizes = _even_sizes(n_samples, n_clusters)
+    X = np.empty((n_samples, n_features))
+    y = np.empty(n_samples, dtype=np.int64)
+    offset = 0
+    for label, size in enumerate(sizes):
+        X[offset : offset + size] = centers[label] + cluster_std * rng.normal(
+            size=(size, n_features)
+        )
+        y[offset : offset + size] = label
+        offset += size
+    return _shuffle(X, y, rng)
+
+
+def make_classification(
+    n_samples: int = 5000,
+    n_features: int = 10,
+    n_clusters: int = 100,
+    *,
+    class_sep: float = 2.0,
+    within_std: float = 1.0,
+    imbalance_ratio: float = 0.91,
+    random_state=None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Classification-style clusters with informative features.
+
+    Mirrors the paper's use of scikit-learn's ``make_classification`` with
+    only informative features: each class is a Gaussian cluster around a
+    vertex-like center placed on a scaled hypercube, with mild class
+    imbalance (Table 1 reports IR = 0.91).
+    """
+    n_samples = check_positive_int(n_samples, "n_samples")
+    n_features = check_positive_int(n_features, "n_features")
+    n_clusters = check_positive_int(n_clusters, "n_clusters")
+    rng = check_random_state(random_state)
+    # Random ±1 hypercube-vertex-like centers, scaled by class_sep.
+    centers = class_sep * rng.choice([-1.0, 1.0], size=(n_clusters, n_features))
+    centers += 0.5 * class_sep * rng.normal(size=centers.shape)
+    sizes = _imbalanced_sizes(n_samples, n_clusters, imbalance_ratio, rng)
+    X = np.empty((n_samples, n_features))
+    y = np.empty(n_samples, dtype=np.int64)
+    offset = 0
+    for label, size in enumerate(sizes):
+        X[offset : offset + size] = centers[label] + within_std * rng.normal(
+            size=(size, n_features)
+        )
+        y[offset : offset + size] = label
+        offset += size
+    return _shuffle(X, y, rng)
+
+
+def make_khatri_rao_blobs(
+    cardinalities: Sequence[int] = (3, 3),
+    n_samples: int = 900,
+    n_features: int = 2,
+    *,
+    aggregator: str = "sum",
+    cluster_std: float = 0.15,
+    protocentroid_scale: float = 3.0,
+    random_state=None,
+) -> Tuple[np.ndarray, np.ndarray, list]:
+    """Data whose clusters exactly follow a Khatri-Rao structure (Figure 4).
+
+    Draws one random set of protocentroids per cardinality, materializes the
+    centroids via the chosen aggregator, and samples isotropic Gaussian
+    clusters around them.
+
+    Returns
+    -------
+    (X, y, protocentroids)
+        ``y`` contains flat centroid indices in C-order over the tuple
+        indices; ``protocentroids`` is the list of generating sets.
+    """
+    cards = tuple(check_positive_int(h, "cardinality") for h in cardinalities)
+    n_samples = check_positive_int(n_samples, "n_samples")
+    rng = check_random_state(random_state)
+    if aggregator in ("product", "*", "x"):
+        # Keep protocentroids away from zero so products stay well separated.
+        thetas = [
+            rng.uniform(0.5, protocentroid_scale, size=(h, n_features)) for h in cards
+        ]
+    else:
+        thetas = [
+            protocentroid_scale * rng.normal(size=(h, n_features)) for h in cards
+        ]
+    centroids = khatri_rao_combine(thetas, aggregator)
+    k = centroids.shape[0]
+    sizes = _even_sizes(n_samples, k)
+    X = np.empty((n_samples, n_features))
+    y = np.empty(n_samples, dtype=np.int64)
+    offset = 0
+    for label, size in enumerate(sizes):
+        X[offset : offset + size] = centroids[label] + cluster_std * rng.normal(
+            size=(size, n_features)
+        )
+        y[offset : offset + size] = label
+        offset += size
+    X, y = _shuffle(X, y, rng)
+    return X, y, thetas
+
+
+def make_r15(
+    n_samples: int = 600, *, cluster_std: float = 0.25, random_state=None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """R15-style layout: 15 Gaussians with non-uniform spacing.
+
+    Follows the classical R15 arrangement: one central cluster, an inner
+    ring of 7 tightly spaced clusters and an outer ring of 7 looser ones.
+    """
+    n_samples = check_positive_int(n_samples, "n_samples")
+    rng = check_random_state(random_state)
+    centers = [np.array([0.0, 0.0])]
+    for i in range(7):
+        angle = 2.0 * np.pi * i / 7.0
+        centers.append(2.0 * np.array([np.cos(angle), np.sin(angle)]))
+    for i in range(7):
+        angle = 2.0 * np.pi * (i + 0.5) / 7.0
+        centers.append(5.0 * np.array([np.cos(angle), np.sin(angle)]))
+    centers = np.asarray(centers)
+    sizes = _even_sizes(n_samples, 15)
+    X = np.empty((n_samples, 2))
+    y = np.empty(n_samples, dtype=np.int64)
+    offset = 0
+    for label, size in enumerate(sizes):
+        std = cluster_std if label <= 7 else 2.0 * cluster_std
+        X[offset : offset + size] = centers[label] + std * rng.normal(size=(size, 2))
+        y[offset : offset + size] = label
+        offset += size
+    return _shuffle(X, y, rng)
+
+
+def make_chameleon(
+    n_samples: int = 10000,
+    *,
+    noise_fraction: float = 0.25,
+    random_state=None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Chameleon-style 2-D data: nonconvex shapes plus uniform noise.
+
+    Nine structured clusters (arcs, bars and dense blobs of varying density)
+    plus a background-noise "cluster", giving 10 labels and a strong
+    imbalance ratio as in Table 1 (IR = 0.10).
+    """
+    n_samples = check_positive_int(n_samples, "n_samples")
+    if not 0.0 <= noise_fraction < 1.0:
+        raise ValidationError("noise_fraction must be in [0, 1)")
+    rng = check_random_state(random_state)
+    n_noise = int(round(noise_fraction * n_samples))
+    n_structured = n_samples - n_noise
+    weights = np.array([2.0, 2.0, 1.5, 1.5, 1.0, 1.0, 0.8, 0.6, 0.4])
+    sizes = np.maximum(
+        1, np.round(weights / weights.sum() * n_structured).astype(int)
+    )
+    sizes[-1] += n_structured - sizes.sum()
+
+    pieces = []
+    labels = []
+
+    def _arc(size, center, radius, start, stop, thickness):
+        angles = rng.uniform(start, stop, size)
+        radii = radius + thickness * rng.normal(size=size)
+        return np.column_stack(
+            [center[0] + radii * np.cos(angles), center[1] + radii * np.sin(angles)]
+        )
+
+    def _bar(size, origin, length, angle, thickness):
+        t = rng.uniform(0.0, length, size)
+        offsets = thickness * rng.normal(size=size)
+        direction = np.array([np.cos(angle), np.sin(angle)])
+        normal = np.array([-np.sin(angle), np.cos(angle)])
+        return origin + t[:, None] * direction + offsets[:, None] * normal
+
+    def _blob(size, center, std):
+        return center + std * rng.normal(size=(size, 2))
+
+    generators = [
+        lambda s: _arc(s, (0.0, 0.0), 4.0, 0.0, np.pi, 0.2),
+        lambda s: _arc(s, (0.0, -1.0), 4.0, np.pi, 2.0 * np.pi, 0.2),
+        lambda s: _bar(s, np.array([8.0, -4.0]), 8.0, np.pi / 3.0, 0.3),
+        lambda s: _bar(s, np.array([-12.0, -4.0]), 8.0, -np.pi / 4.0, 0.3),
+        lambda s: _blob(s, np.array([10.0, 6.0]), 0.7),
+        lambda s: _blob(s, np.array([-10.0, 6.0]), 0.7),
+        lambda s: _blob(s, np.array([6.0, -8.0]), 0.5),
+        lambda s: _blob(s, np.array([-6.0, -8.0]), 0.5),
+        lambda s: _blob(s, np.array([0.0, 9.0]), 0.4),
+    ]
+    for label, (size, generator) in enumerate(zip(sizes, generators)):
+        pieces.append(generator(int(size)))
+        labels.append(np.full(int(size), label, dtype=np.int64))
+
+    if n_noise:
+        noise = rng.uniform(-15.0, 15.0, size=(n_noise, 2))
+        pieces.append(noise)
+        labels.append(np.full(n_noise, len(generators), dtype=np.int64))
+
+    X = np.vstack(pieces)
+    y = np.concatenate(labels)
+    return _shuffle(X, y, rng)
+
+
+def make_soybean_like(
+    n_samples: int = 562,
+    n_features: int = 35,
+    n_clusters: int = 15,
+    *,
+    n_categories: int = 4,
+    consistency: float = 0.8,
+    imbalance_ratio: float = 0.22,
+    random_state=None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Categorical data in the style of UCI Soybean Large.
+
+    Each class has a prototype category per attribute; samples copy the
+    prototype with probability ``consistency`` and otherwise draw a uniform
+    category.  Categories are numerically encoded, as in Appendix A.
+    """
+    rng = check_random_state(random_state)
+    n_samples = check_positive_int(n_samples, "n_samples")
+    n_features = check_positive_int(n_features, "n_features")
+    n_clusters = check_positive_int(n_clusters, "n_clusters")
+    prototypes = rng.integers(0, n_categories, size=(n_clusters, n_features))
+    sizes = _imbalanced_sizes(n_samples, n_clusters, imbalance_ratio, rng)
+    X = np.empty((n_samples, n_features))
+    y = np.empty(n_samples, dtype=np.int64)
+    offset = 0
+    for label, size in enumerate(sizes):
+        block = np.tile(prototypes[label], (size, 1)).astype(float)
+        mutate = rng.random((size, n_features)) > consistency
+        block[mutate] = rng.integers(0, n_categories, size=int(mutate.sum()))
+        X[offset : offset + size] = block
+        y[offset : offset + size] = label
+        offset += size
+    return _shuffle(X, y, rng)
+
+
+def make_quantization_image(
+    height: int = 120, width: int = 160, *, random_state=None
+) -> np.ndarray:
+    """Photo-like RGB image for the color-quantization case study (Figure 9).
+
+    Composes sky (smooth blue gradient), a building band (grays/browns),
+    vegetation (greens) and sparse red accents — the rare-but-salient tones
+    whose preservation the paper highlights for Khatri-Rao-k-Means.
+
+    Returns
+    -------
+    array of shape (height, width, 3) with values in [0, 1].
+    """
+    rng = check_random_state(random_state)
+    height = check_positive_int(height, "height")
+    width = check_positive_int(width, "width")
+    image = np.zeros((height, width, 3))
+    rows = np.linspace(0.0, 1.0, height)[:, None]
+
+    # Sky: top 40%, blue gradient with light noise.
+    sky = int(0.4 * height)
+    image[:sky, :, 0] = 0.35 + 0.1 * rows[:sky]
+    image[:sky, :, 1] = 0.55 + 0.15 * rows[:sky]
+    image[:sky, :, 2] = 0.85 - 0.1 * rows[:sky]
+
+    # Building band: 40%-75%, blocky grays and browns.
+    top, bottom = sky, int(0.75 * height)
+    n_blocks = 8
+    edges = np.linspace(0, width, n_blocks + 1).astype(int)
+    for b in range(n_blocks):
+        gray = rng.uniform(0.3, 0.65)
+        tint = rng.uniform(-0.08, 0.08, size=3)
+        image[top:bottom, edges[b] : edges[b + 1]] = np.clip(gray + tint, 0, 1)
+
+    # Vegetation: bottom 25%, green textures.
+    image[bottom:, :, 0] = 0.15
+    image[bottom:, :, 1] = 0.45
+    image[bottom:, :, 2] = 0.12
+
+    # Red accents: a few small rectangles (roofs, flags) — ~2% of pixels.
+    for _ in range(6):
+        r0 = rng.integers(sky, height - 4)
+        c0 = rng.integers(0, width - 6)
+        image[r0 : r0 + 3, c0 : c0 + 5] = np.array([0.8, 0.12, 0.1])
+
+    image += 0.03 * rng.normal(size=image.shape)
+    return np.clip(image, 0.0, 1.0)
+
+
+# --------------------------------------------------------------------------
+# helpers shared by the generators in this subpackage
+# --------------------------------------------------------------------------
+def _even_sizes(n_samples: int, n_clusters: int) -> np.ndarray:
+    """Split ``n_samples`` into ``n_clusters`` near-equal positive sizes."""
+    if n_samples < n_clusters:
+        raise ValidationError(
+            f"need at least one sample per cluster: {n_samples} < {n_clusters}"
+        )
+    base = n_samples // n_clusters
+    sizes = np.full(n_clusters, base, dtype=int)
+    sizes[: n_samples - base * n_clusters] += 1
+    return sizes
+
+
+def _imbalanced_sizes(
+    n_samples: int,
+    n_clusters: int,
+    imbalance_ratio: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Cluster sizes interpolating linearly between a min/max pair.
+
+    The imbalance ratio (smallest / largest cluster size, Table 1) of the
+    result approximates ``imbalance_ratio``.
+    """
+    if not 0.0 < imbalance_ratio <= 1.0:
+        raise ValidationError("imbalance_ratio must be in (0, 1]")
+    weights = np.linspace(imbalance_ratio, 1.0, n_clusters)
+    rng.shuffle(weights)
+    sizes = np.maximum(1, np.round(weights / weights.sum() * n_samples).astype(int))
+    # Fix rounding drift on the largest cluster.
+    sizes[np.argmax(sizes)] += n_samples - sizes.sum()
+    if sizes.min() < 1:
+        raise ValidationError("n_samples too small for the requested imbalance")
+    return sizes
+
+
+def _shuffle(
+    X: np.ndarray, y: np.ndarray, rng: np.random.Generator
+) -> Tuple[np.ndarray, np.ndarray]:
+    order = rng.permutation(X.shape[0])
+    return X[order], y[order]

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch everything raised by this package with a single ``except`` clause
+while still being able to distinguish configuration problems from numerical
+ones.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input (array, parameter, configuration) failed validation."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """An estimator was used before calling ``fit``."""
+
+
+class ConvergenceWarning(UserWarning):
+    """An iterative procedure stopped before reaching its tolerance."""
+
+
+class DatasetError(ReproError, KeyError):
+    """A dataset name was not found in the registry or is misconfigured."""

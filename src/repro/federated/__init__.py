@@ -1,0 +1,18 @@
+"""Federated k-Means and its Khatri-Rao extension (paper Section 9.4).
+
+Implements ``FkM``-style federated k-means [Garst & Reinders, 2024]: a
+server broadcasts centroids, each client runs local Lloyd steps on its shard
+and returns weighted centroid statistics, and the server aggregates — for a
+number of communication rounds.  ``KhatriRaoFkM`` "replaces each invocation
+of k-Means with Khatri-Rao-k-Means": the server communicates protocentroids
+(``∑ h_q`` vectors) instead of centroids (``∏ h_q`` vectors), cutting the
+server→client payload the paper plots in Figure 10.
+"""
+
+from .fkm import FederatedKMeans, KhatriRaoFederatedKMeans, communication_cost_bytes
+
+__all__ = [
+    "FederatedKMeans",
+    "KhatriRaoFederatedKMeans",
+    "communication_cost_bytes",
+]

@@ -1,0 +1,42 @@
+"""Linear-algebra substrate for Khatri-Rao clustering.
+
+This subpackage implements the two operator families the paper builds on:
+
+* **Khatri-Rao operators** (Section 3): given ``p`` sets of vectors, produce
+  every elementwise ``sum`` or ``product`` combination with one vector from
+  each set — the mechanism by which protocentroids generate centroids.
+* **Hadamard decomposition** (Section 4.2, Eq. 6): reparameterize a weight
+  matrix as the Hadamard product of low-rank factors, the mechanism by which
+  autoencoder parameters are compressed in Khatri-Rao deep clustering.
+"""
+
+from .aggregators import Aggregator, ProductAggregator, SumAggregator, get_aggregator
+from .hadamard import (
+    HadamardDecomposition,
+    hadamard_parameter_count,
+    hadamard_reconstruct,
+    init_hadamard_factors,
+)
+from .khatri_rao import (
+    flat_to_tuple,
+    khatri_rao_combine,
+    khatri_rao_product,
+    num_combinations,
+    tuple_to_flat,
+)
+
+__all__ = [
+    "Aggregator",
+    "SumAggregator",
+    "ProductAggregator",
+    "get_aggregator",
+    "khatri_rao_combine",
+    "khatri_rao_product",
+    "num_combinations",
+    "tuple_to_flat",
+    "flat_to_tuple",
+    "HadamardDecomposition",
+    "hadamard_reconstruct",
+    "hadamard_parameter_count",
+    "init_hadamard_factors",
+]

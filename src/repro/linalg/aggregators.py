@@ -1,0 +1,153 @@
+"""Aggregator functions ``⊕`` combining protocentroids (paper Section 3).
+
+The paper focuses on the elementwise **sum** (``⊕ = +``) and **product**
+(``⊕ = ×``, i.e. the Hadamard product) aggregators.  Each aggregator is a
+small strategy object exposing:
+
+* ``combine`` — elementwise aggregation of a sequence of arrays;
+* ``identity`` — the neutral element (0 for sum, 1 for product), used when
+  reducing over sets and when constructing protocentroids that leave the
+  other sets' contribution unchanged (Proposition 8.2's construction);
+* ``split`` — factor a vector ``v`` into ``p`` parts whose aggregation
+  reproduces ``v`` (used by the KR-k-means++-style initialization, which must
+  turn a sampled centroid into one protocentroid per set);
+* closed-form protocentroid updates used by Proposition 6.1 live in
+  :mod:`repro.core.kr_kmeans` because they also need cluster assignments.
+
+Aggregators are selected by name (``"sum"``/``"+"`` or ``"product"``/``"*"``)
+through :func:`get_aggregator`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Sequence
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+__all__ = ["Aggregator", "SumAggregator", "ProductAggregator", "get_aggregator"]
+
+
+class Aggregator(ABC):
+    """Strategy interface for the elementwise aggregator ``⊕``."""
+
+    #: canonical name, e.g. ``"sum"``
+    name: str = ""
+    #: one-character symbol used in reports, e.g. ``"+"``
+    symbol: str = ""
+
+    @abstractmethod
+    def combine(self, parts: Sequence[np.ndarray]) -> np.ndarray:
+        """Aggregate ``parts`` elementwise; all parts must share a shape."""
+
+    @abstractmethod
+    def identity(self, shape) -> np.ndarray:
+        """Return the neutral element of ``⊕`` with the given shape."""
+
+    @abstractmethod
+    def split(self, vector: np.ndarray, num_parts: int) -> List[np.ndarray]:
+        """Split ``vector`` into ``num_parts`` arrays aggregating back to it."""
+
+    def pair(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Aggregate exactly two arrays (broadcasting allowed)."""
+        return self.combine([a, b])
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}()"
+
+
+class SumAggregator(Aggregator):
+    """Additive aggregator: ``θ_1 ⊕ θ_2 = θ_1 + θ_2``."""
+
+    name = "sum"
+    symbol = "+"
+
+    def combine(self, parts: Sequence[np.ndarray]) -> np.ndarray:
+        if not parts:
+            raise ValidationError("combine requires at least one array")
+        result = np.asarray(parts[0], dtype=float).copy()
+        for part in parts[1:]:
+            result = result + np.asarray(part, dtype=float)
+        return result
+
+    def identity(self, shape) -> np.ndarray:
+        return np.zeros(shape, dtype=float)
+
+    def split(self, vector: np.ndarray, num_parts: int) -> List[np.ndarray]:
+        vector = np.asarray(vector, dtype=float)
+        if num_parts < 1:
+            raise ValidationError("num_parts must be >= 1")
+        # Equal shares: each part is v / p, summing back to v exactly.
+        share = vector / float(num_parts)
+        return [share.copy() for _ in range(num_parts)]
+
+
+class ProductAggregator(Aggregator):
+    """Multiplicative (Hadamard) aggregator: ``θ_1 ⊕ θ_2 = θ_1 ⊙ θ_2``."""
+
+    name = "product"
+    symbol = "*"
+
+    def combine(self, parts: Sequence[np.ndarray]) -> np.ndarray:
+        if not parts:
+            raise ValidationError("combine requires at least one array")
+        result = np.asarray(parts[0], dtype=float).copy()
+        for part in parts[1:]:
+            result = result * np.asarray(part, dtype=float)
+        return result
+
+    def identity(self, shape) -> np.ndarray:
+        return np.ones(shape, dtype=float)
+
+    def split(self, vector: np.ndarray, num_parts: int) -> List[np.ndarray]:
+        vector = np.asarray(vector, dtype=float)
+        if num_parts < 1:
+            raise ValidationError("num_parts must be >= 1")
+        if num_parts == 1:
+            return [vector.copy()]
+        # The first part carries the signed magnitude; the remaining parts are
+        # |v|^(1/p) with the sign assigned to the first factor so the product
+        # reproduces v exactly even for negative entries.
+        magnitude = np.abs(vector)
+        root = np.power(magnitude, 1.0 / num_parts)
+        sign = np.sign(vector)
+        sign[sign == 0] = 1.0
+        first = sign * root
+        return [first] + [root.copy() for _ in range(num_parts - 1)]
+
+
+_AGGREGATORS = {
+    "sum": SumAggregator,
+    "+": SumAggregator,
+    "add": SumAggregator,
+    "product": ProductAggregator,
+    "*": ProductAggregator,
+    "x": ProductAggregator,
+    "prod": ProductAggregator,
+    "mul": ProductAggregator,
+}
+
+
+def get_aggregator(aggregator) -> Aggregator:
+    """Resolve an aggregator name or instance to an :class:`Aggregator`.
+
+    Parameters
+    ----------
+    aggregator : str or Aggregator
+        ``"sum"``/``"+"``, ``"product"``/``"*"`` or an existing instance.
+
+    Returns
+    -------
+    Aggregator
+    """
+    if isinstance(aggregator, Aggregator):
+        return aggregator
+    if isinstance(aggregator, str):
+        key = aggregator.strip().lower()
+        if key in _AGGREGATORS:
+            return _AGGREGATORS[key]()
+    raise ValidationError(
+        f"unknown aggregator {aggregator!r}; expected 'sum'/'+' or 'product'/'*'"
+    )

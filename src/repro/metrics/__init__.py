@@ -1,0 +1,37 @@
+"""Evaluation metrics used throughout the paper's experiments (Section 9.1).
+
+Clustering-quality metrics (all computed against ground-truth labels):
+
+* :func:`adjusted_rand_index` (ARI),
+* :func:`normalized_mutual_information` (NMI),
+* :func:`unsupervised_clustering_accuracy` (ACC, Hungarian matching),
+* :func:`purity`,
+* :func:`inertia` — the k-means objective (Eq. 1).
+
+Compression metrics:
+
+* :func:`summary_parameter_count` — number of scalars in a centroid /
+  protocentroid summary, the quantity behind the "Params" columns of
+  Tables 2 and 3.
+"""
+
+from .clustering import (
+    adjusted_rand_index,
+    contingency_matrix,
+    inertia,
+    normalized_mutual_information,
+    purity,
+    unsupervised_clustering_accuracy,
+)
+from .compression import parameter_ratio, summary_parameter_count
+
+__all__ = [
+    "adjusted_rand_index",
+    "normalized_mutual_information",
+    "unsupervised_clustering_accuracy",
+    "purity",
+    "inertia",
+    "contingency_matrix",
+    "summary_parameter_count",
+    "parameter_ratio",
+]

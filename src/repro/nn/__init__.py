@@ -1,0 +1,37 @@
+"""Neural-network substrate for deep clustering (paper Sections 3, 4.2, 7).
+
+Built on :mod:`repro.autodiff`:
+
+* :class:`Linear` — dense layer;
+* :class:`HadamardLinear` — the compressed layer of Eq. 6, whose weight is
+  the Hadamard product of ``q`` low-rank factorizations;
+* activations, :class:`Sequential`;
+* :class:`Autoencoder` — encoder/decoder pairs, including the paper's
+  ``m-1024-512-256-10`` preset and compressed variants;
+* :class:`Adam` / :class:`SGD` optimizers and a mini-batch :class:`Trainer`.
+"""
+
+from .autoencoder import Autoencoder, build_autoencoder
+from .layers import (
+    Activation,
+    HadamardLinear,
+    Linear,
+    Module,
+    Sequential,
+)
+from .optim import SGD, Adam
+from .training import Trainer, iterate_minibatches
+
+__all__ = [
+    "Module",
+    "Linear",
+    "HadamardLinear",
+    "Activation",
+    "Sequential",
+    "Autoencoder",
+    "build_autoencoder",
+    "Adam",
+    "SGD",
+    "Trainer",
+    "iterate_minibatches",
+]

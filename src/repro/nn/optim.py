@@ -1,0 +1,92 @@
+"""Optimizers: SGD with momentum and ADAM [Kingma & Ba, 2015].
+
+The paper's deep-clustering experiments use ADAM with learning rate 1e-3 for
+autoencoder pretraining and 1e-4 for clustering (Section 9.1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..autodiff import Tensor
+from ..exceptions import ValidationError
+
+__all__ = ["SGD", "Adam"]
+
+
+class _Optimizer:
+    def __init__(self, parameters: Sequence[Tensor], learning_rate: float) -> None:
+        self.parameters: List[Tensor] = list(parameters)
+        if not self.parameters:
+            raise ValidationError("optimizer received no parameters")
+        if learning_rate <= 0:
+            raise ValidationError("learning_rate must be positive")
+        self.learning_rate = float(learning_rate)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class SGD(_Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Tensor],
+        learning_rate: float = 1e-2,
+        *,
+        momentum: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise ValidationError("momentum must be in [0, 1)")
+        self.momentum = float(momentum)
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for p, velocity in zip(self.parameters, self._velocity):
+            if p.grad is None:
+                continue
+            velocity *= self.momentum
+            velocity -= self.learning_rate * p.grad
+            p.data += velocity
+
+
+class Adam(_Optimizer):
+    """ADAM optimizer with bias-corrected moment estimates."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Tensor],
+        learning_rate: float = 1e-3,
+        *,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        super().__init__(parameters, learning_rate)
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.epsilon = float(epsilon)
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for p, m, v in zip(self.parameters, self._m, self._v):
+            if p.grad is None:
+                continue
+            m *= self.beta1
+            m += (1.0 - self.beta1) * p.grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * p.grad**2
+            p.data -= self.learning_rate * (m / bias1) / (np.sqrt(v / bias2) + self.epsilon)

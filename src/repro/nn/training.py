@@ -1,0 +1,78 @@
+"""Mini-batch training utilities.
+
+The paper optimizes deep-clustering objectives "via batch-wise
+backpropagation" with batch size 512 (Section 9.1).  :class:`Trainer`
+runs a generic epoch loop over a loss callable; :func:`iterate_minibatches`
+yields shuffled index batches.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional
+
+import numpy as np
+
+from .._validation import check_positive_int, check_random_state
+from ..autodiff import Tensor
+
+__all__ = ["iterate_minibatches", "Trainer"]
+
+
+def iterate_minibatches(
+    n_samples: int,
+    batch_size: int,
+    rng: np.random.Generator,
+    *,
+    shuffle: bool = True,
+) -> Iterator[np.ndarray]:
+    """Yield index arrays covering ``range(n_samples)`` in batches."""
+    n_samples = check_positive_int(n_samples, "n_samples")
+    batch_size = check_positive_int(batch_size, "batch_size")
+    order = rng.permutation(n_samples) if shuffle else np.arange(n_samples)
+    for start in range(0, n_samples, batch_size):
+        yield order[start : start + batch_size]
+
+
+class Trainer:
+    """Generic epoch loop: ``loss_fn(batch_indices) -> Tensor`` per step.
+
+    Parameters
+    ----------
+    optimizer : optimizer over the trainable parameters.
+    batch_size : int (paper: 512)
+    random_state : None, int or Generator
+
+    Attributes
+    ----------
+    loss_history_ : list of float — mean loss per epoch.
+    """
+
+    def __init__(self, optimizer, *, batch_size: int = 512, random_state=None) -> None:
+        self.optimizer = optimizer
+        self.batch_size = check_positive_int(batch_size, "batch_size")
+        self.rng = check_random_state(random_state)
+        self.loss_history_: List[float] = []
+
+    def run(
+        self,
+        n_samples: int,
+        loss_fn: Callable[[np.ndarray], Tensor],
+        *,
+        epochs: int,
+        callback: Optional[Callable[[int, float], None]] = None,
+    ) -> List[float]:
+        """Train for ``epochs`` epochs; returns the per-epoch mean losses."""
+        epochs = check_positive_int(epochs, "epochs")
+        for epoch in range(epochs):
+            epoch_losses = []
+            for batch in iterate_minibatches(n_samples, self.batch_size, self.rng):
+                self.optimizer.zero_grad()
+                loss = loss_fn(batch)
+                loss.backward()
+                self.optimizer.step()
+                epoch_losses.append(loss.item())
+            mean_loss = float(np.mean(epoch_losses))
+            self.loss_history_.append(mean_loss)
+            if callback is not None:
+                callback(epoch, mean_loss)
+        return self.loss_history_

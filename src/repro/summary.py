@@ -1,0 +1,211 @@
+"""Portable data summaries — the artifact Khatri-Rao clustering produces.
+
+Data summarization is about *shipping a small object instead of the data*.
+:class:`DataSummary` is that object: protocentroid sets (or plain
+centroids), the aggregator and metadata, with save/load to ``.npz``,
+centroid reconstruction, assignment of new data and a compression report.
+Any fitted model from :mod:`repro.core` exports one through
+:func:`summarize`.
+
+Examples
+--------
+>>> import numpy as np
+>>> from repro import KhatriRaoKMeans
+>>> from repro.datasets import make_blobs
+>>> from repro.summary import summarize
+>>> X, _ = make_blobs(400, n_clusters=9, random_state=0)
+>>> model = KhatriRaoKMeans((3, 3), n_init=5, random_state=0).fit(X)
+>>> summary = summarize(model)
+>>> summary.n_clusters, summary.stored_vectors
+(9, 6)
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from ._validation import check_array
+from .core._distances import assign_to_nearest
+from .exceptions import ValidationError
+from .linalg import get_aggregator, khatri_rao_combine
+
+__all__ = ["DataSummary", "summarize"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class DataSummary:
+    """A self-contained centroid-based summary of a dataset.
+
+    Attributes
+    ----------
+    protocentroids : list of arrays
+        One ``(h_q, m)`` array per set; a single-set list is a plain
+        centroid summary.
+    aggregator_name : str
+        ``"sum"`` or ``"product"``.
+    metadata : dict
+        Free-form, JSON-serializable provenance (dataset name, algorithm,
+        inertia at fit time, ...).
+    """
+
+    protocentroids: List[np.ndarray]
+    aggregator_name: str = "sum"
+    metadata: Dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.protocentroids:
+            raise ValidationError("a summary needs at least one protocentroid set")
+        self.protocentroids = [
+            np.asarray(theta, dtype=float) for theta in self.protocentroids
+        ]
+        m = self.protocentroids[0].shape[1]
+        for q, theta in enumerate(self.protocentroids):
+            if theta.ndim != 2 or theta.shape[1] != m:
+                raise ValidationError(
+                    f"protocentroid set {q} has shape {theta.shape}, expected (*, {m})"
+                )
+        get_aggregator(self.aggregator_name)  # validate eagerly
+
+    # ------------------------------------------------------------ properties
+    @property
+    def cardinalities(self) -> tuple:
+        return tuple(theta.shape[0] for theta in self.protocentroids)
+
+    @property
+    def n_features(self) -> int:
+        return int(self.protocentroids[0].shape[1])
+
+    @property
+    def n_clusters(self) -> int:
+        return int(np.prod(self.cardinalities))
+
+    @property
+    def stored_vectors(self) -> int:
+        return int(sum(self.cardinalities))
+
+    @property
+    def parameter_count(self) -> int:
+        return self.stored_vectors * self.n_features
+
+    def compression_ratio(self) -> float:
+        """Parameters stored relative to an explicit centroid summary."""
+        return self.parameter_count / (self.n_clusters * self.n_features)
+
+    # -------------------------------------------------------------- behavior
+    def centroids(self) -> np.ndarray:
+        """Reconstruct the full centroid matrix."""
+        return khatri_rao_combine(self.protocentroids, self.aggregator_name)
+
+    def assign(self, X) -> np.ndarray:
+        """Assign each row of ``X`` to its nearest reconstructed centroid."""
+        X = check_array(X)
+        if X.shape[1] != self.n_features:
+            raise ValidationError(
+                f"X has {X.shape[1]} features, summary has {self.n_features}"
+            )
+        labels, _ = assign_to_nearest(X, self.centroids())
+        return labels
+
+    def inertia(self, X) -> float:
+        """Squared reconstruction error of ``X`` under this summary."""
+        X = check_array(X)
+        _, distances = assign_to_nearest(X, self.centroids())
+        return float(distances.sum())
+
+    def report(self) -> str:
+        """Human-readable compression report."""
+        lines = [
+            f"DataSummary: {self.n_clusters} clusters over "
+            f"{self.n_features} features",
+            f"  sets          : {self.cardinalities} (aggregator "
+            f"{self.aggregator_name!r})",
+            f"  stored vectors: {self.stored_vectors} "
+            f"({self.parameter_count} parameters)",
+            f"  compression   : {self.compression_ratio():.2f}x of an "
+            f"explicit {self.n_clusters}-centroid summary",
+        ]
+        if self.metadata:
+            lines.append(f"  metadata      : {json.dumps(self.metadata, sort_keys=True)}")
+        return "\n".join(lines)
+
+    # ---------------------------------------------------------- persistence
+    def save(self, path: Union[str, Path]) -> Path:
+        """Serialize to a ``.npz`` file; returns the written path."""
+        path = Path(path)
+        arrays = {
+            f"protocentroids_{q}": theta
+            for q, theta in enumerate(self.protocentroids)
+        }
+        header = json.dumps(
+            {
+                "format_version": _FORMAT_VERSION,
+                "aggregator": self.aggregator_name,
+                "num_sets": len(self.protocentroids),
+                "metadata": self.metadata,
+            }
+        )
+        np.savez(path, header=np.frombuffer(header.encode("utf-8"), dtype=np.uint8),
+                 **arrays)
+        # np.savez appends .npz when missing.
+        return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "DataSummary":
+        """Load a summary written by :meth:`save`."""
+        with np.load(Path(path)) as archive:
+            try:
+                header = json.loads(bytes(archive["header"]).decode("utf-8"))
+            except KeyError:
+                raise ValidationError(f"{path} is not a DataSummary archive")
+            if header.get("format_version") != _FORMAT_VERSION:
+                raise ValidationError(
+                    f"unsupported summary format {header.get('format_version')!r}"
+                )
+            protocentroids = [
+                archive[f"protocentroids_{q}"] for q in range(header["num_sets"])
+            ]
+            return cls(
+                protocentroids=protocentroids,
+                aggregator_name=header["aggregator"],
+                metadata=header.get("metadata", {}),
+            )
+
+
+def summarize(model, *, metadata: Optional[Dict] = None) -> DataSummary:
+    """Export a fitted clustering model as a :class:`DataSummary`.
+
+    Supports any object exposing either ``protocentroids_`` plus an
+    ``aggregator`` (KR-family estimators) or ``cluster_centers_``
+    (k-Means-family estimators).
+    """
+    meta = dict(metadata or {})
+    meta.setdefault("algorithm", type(model).__name__)
+    if getattr(model, "protocentroids_", None) is not None:
+        aggregator = getattr(model, "aggregator", None)
+        name = aggregator.name if aggregator is not None else "sum"
+        if hasattr(model, "inertia_") and np.isfinite(model.inertia_):
+            meta.setdefault("inertia", float(model.inertia_))
+        return DataSummary(
+            [theta.copy() for theta in model.protocentroids_],
+            aggregator_name=name,
+            metadata=meta,
+        )
+    if getattr(model, "cluster_centers_", None) is not None:
+        if hasattr(model, "inertia_") and np.isfinite(model.inertia_):
+            meta.setdefault("inertia", float(model.inertia_))
+        return DataSummary(
+            [model.cluster_centers_.copy()],
+            aggregator_name="sum",
+            metadata=meta,
+        )
+    raise ValidationError(
+        f"cannot summarize {type(model).__name__}: fit it first, or pass a model "
+        "with protocentroids_ or cluster_centers_"
+    )

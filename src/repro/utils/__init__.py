@@ -1,0 +1,6 @@
+"""Small cross-cutting utilities: timing, memory tracking and RNG helpers."""
+
+from .memory import peak_memory_mib, track_peak_memory
+from .timing import Timer
+
+__all__ = ["Timer", "peak_memory_mib", "track_peak_memory"]

@@ -1,0 +1,47 @@
+"""Peak-memory measurement for the scalability analysis (Figure 8).
+
+The paper reports peak memory in Mebibytes for a single execution of each
+algorithm.  We measure Python-level allocations with :mod:`tracemalloc`,
+which captures the numpy buffers that dominate clustering memory usage.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from contextlib import contextmanager
+from typing import Callable, Iterator, Tuple
+
+_MIB = 1024.0 * 1024.0
+
+
+@contextmanager
+def track_peak_memory() -> Iterator[dict]:
+    """Context manager yielding a dict whose ``peak_mib`` key is filled on exit.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> with track_peak_memory() as mem:
+    ...     _ = np.zeros((1000, 1000))
+    >>> mem["peak_mib"] > 0
+    True
+    """
+    was_tracing = tracemalloc.is_tracing()
+    if not was_tracing:
+        tracemalloc.start()
+    tracemalloc.reset_peak()
+    result = {"peak_mib": 0.0}
+    try:
+        yield result
+    finally:
+        _, peak = tracemalloc.get_traced_memory()
+        result["peak_mib"] = peak / _MIB
+        if not was_tracing:
+            tracemalloc.stop()
+
+
+def peak_memory_mib(func: Callable, *args, **kwargs) -> Tuple[object, float]:
+    """Run ``func(*args, **kwargs)`` and return ``(result, peak_mib)``."""
+    with track_peak_memory() as mem:
+        result = func(*args, **kwargs)
+    return result, mem["peak_mib"]

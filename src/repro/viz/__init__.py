@@ -1,0 +1,19 @@
+"""Dependency-free visualization helpers.
+
+The evaluation environment has no matplotlib, so this package provides the
+minimum needed to *see* results: a binary PPM/PGM image writer (for the
+color-quantization case study and protocentroid images) and ASCII charts
+(scatter plots of 2-D clusterings, bar/line charts of benchmark series).
+"""
+
+from .ascii import ascii_bar_chart, ascii_image, ascii_line_chart, ascii_scatter
+from .images import save_pgm, save_ppm
+
+__all__ = [
+    "save_ppm",
+    "save_pgm",
+    "ascii_scatter",
+    "ascii_image",
+    "ascii_bar_chart",
+    "ascii_line_chart",
+]

@@ -1,0 +1,137 @@
+"""ASCII charts: scatter plots, images, bar and line charts.
+
+Terminal-renderable stand-ins for the paper's figures.  All functions return
+strings; nothing is printed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+__all__ = ["ascii_scatter", "ascii_image", "ascii_bar_chart", "ascii_line_chart"]
+
+_GLYPHS = "ox+*#%@&$abcdefghijklmnpqrstuvwyz"
+_SHADES = " .:-=+*#%@"
+
+
+def ascii_scatter(
+    X: np.ndarray,
+    labels: Optional[np.ndarray] = None,
+    *,
+    width: int = 60,
+    height: int = 24,
+    markers: Optional[np.ndarray] = None,
+) -> str:
+    """Render 2-D points (optionally labeled) as an ASCII scatter plot.
+
+    Points sharing a grid cell show the label drawn last; ``markers`` may
+    supply extra points rendered as ``M`` (e.g. centroids).
+    """
+    X = np.asarray(X, dtype=float)
+    if X.ndim != 2 or X.shape[1] != 2:
+        raise ValidationError(f"ascii_scatter needs (n, 2) data, got {X.shape}")
+    points = X if markers is None else np.vstack([X, np.asarray(markers, dtype=float)])
+    x_min, y_min = points.min(axis=0)
+    x_max, y_max = points.max(axis=0)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x, y, glyph):
+        col = int((x - x_min) / x_span * (width - 1))
+        row = int((y_max - y) / y_span * (height - 1))
+        grid[row][col] = glyph
+
+    if labels is None:
+        labels = np.zeros(X.shape[0], dtype=int)
+    labels = np.asarray(labels).astype(int)
+    for (x, y), label in zip(X, labels):
+        place(x, y, _GLYPHS[label % len(_GLYPHS)])
+    if markers is not None:
+        for x, y in np.asarray(markers, dtype=float):
+            place(x, y, "M")
+    border = "+" + "-" * width + "+"
+    body = "\n".join("|" + "".join(row) + "|" for row in grid)
+    return f"{border}\n{body}\n{border}"
+
+
+def ascii_image(image: np.ndarray, *, width: int = 40) -> str:
+    """Render a grayscale image with density shading."""
+    image = np.asarray(image, dtype=float)
+    if image.ndim != 2:
+        raise ValidationError(f"ascii_image needs (h, w) data, got {image.shape}")
+    h, w = image.shape
+    out_w = min(width, w) or 1
+    out_h = max(1, int(h * out_w / w / 2))  # terminal cells are ~2x tall
+    rows = np.minimum((np.arange(out_h) * h) // out_h, h - 1)
+    cols = np.minimum((np.arange(out_w) * w) // out_w, w - 1)
+    small = image[np.ix_(rows, cols)]
+    lo, hi = small.min(), small.max()
+    span = (hi - lo) or 1.0
+    normalized = (small - lo) / span
+    indices = np.minimum((normalized * len(_SHADES)).astype(int), len(_SHADES) - 1)
+    return "\n".join("".join(_SHADES[i] for i in row) for row in indices)
+
+
+def ascii_bar_chart(
+    labels: Sequence[str], values: Sequence[float], *, width: int = 40
+) -> str:
+    """Horizontal bar chart with value annotations."""
+    values = [float(v) for v in values]
+    if len(labels) != len(values):
+        raise ValidationError("labels and values must have the same length")
+    if not values:
+        raise ValidationError("bar chart needs at least one value")
+    maximum = max(abs(v) for v in values) or 1.0
+    label_width = max(len(str(l)) for l in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(abs(value) / maximum * width)) if value else ""
+        lines.append(f"{str(label):<{label_width}} | {bar} {value:g}")
+    return "\n".join(lines)
+
+
+def ascii_line_chart(
+    x: Sequence[float],
+    series: dict,
+    *,
+    width: int = 60,
+    height: int = 16,
+    logy: bool = False,
+) -> str:
+    """Multi-series line chart; series is ``{name: values}``.
+
+    Each series is drawn with the first letter of its name.
+    """
+    x = np.asarray(list(x), dtype=float)
+    if not series:
+        raise ValidationError("line chart needs at least one series")
+    all_values = np.concatenate([np.asarray(list(v), dtype=float) for v in series.values()])
+    if logy:
+        if np.any(all_values <= 0):
+            raise ValidationError("logy requires positive values")
+        transform = np.log10
+    else:
+        transform = lambda v: v  # noqa: E731 - tiny local adapter
+    y_all = transform(all_values)
+    y_min, y_max = float(y_all.min()), float(y_all.max())
+    y_span = (y_max - y_min) or 1.0
+    x_min, x_max = float(x.min()), float(x.max())
+    x_span = (x_max - x_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for name, values in series.items():
+        glyph = str(name)[0]
+        for xi, vi in zip(x, np.asarray(list(values), dtype=float)):
+            col = int((xi - x_min) / x_span * (width - 1))
+            row = int((y_max - float(transform(vi))) / y_span * (height - 1))
+            grid[row][col] = glyph
+    border = "+" + "-" * width + "+"
+    body = "\n".join("|" + "".join(row) + "|" for row in grid)
+    legend = "  ".join(f"{str(name)[0]}={name}" for name in series)
+    return f"{border}\n{body}\n{border}\n{legend}"

@@ -1,0 +1,59 @@
+"""Binary PPM (color) and PGM (grayscale) image writers.
+
+Netpbm formats are self-describing, viewer-ubiquitous and writable without
+any imaging dependency — ideal for dumping quantization results and
+protocentroid images from the offline benchmarks.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+__all__ = ["save_ppm", "save_pgm"]
+
+
+def _to_uint8(image: np.ndarray) -> np.ndarray:
+    image = np.asarray(image, dtype=float)
+    if image.min() < 0.0 or image.max() > 1.0:
+        raise ValidationError("image values must lie in [0, 1]")
+    return np.round(image * 255.0).astype(np.uint8)
+
+
+def save_ppm(image: np.ndarray, path: Union[str, Path]) -> Path:
+    """Write an ``(h, w, 3)`` float image in [0, 1] as binary PPM (P6).
+
+    Examples
+    --------
+    >>> import numpy as np, tempfile, os
+    >>> with tempfile.TemporaryDirectory() as tmp:
+    ...     p = save_ppm(np.zeros((2, 2, 3)), os.path.join(tmp, "x.ppm"))
+    ...     p.stat().st_size > 0
+    True
+    """
+    image = np.asarray(image, dtype=float)
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise ValidationError(f"PPM needs shape (h, w, 3), got {image.shape}")
+    data = _to_uint8(image)
+    path = Path(path)
+    with open(path, "wb") as handle:
+        handle.write(f"P6\n{image.shape[1]} {image.shape[0]}\n255\n".encode("ascii"))
+        handle.write(data.tobytes())
+    return path
+
+
+def save_pgm(image: np.ndarray, path: Union[str, Path]) -> Path:
+    """Write an ``(h, w)`` float image in [0, 1] as binary PGM (P5)."""
+    image = np.asarray(image, dtype=float)
+    if image.ndim != 2:
+        raise ValidationError(f"PGM needs shape (h, w), got {image.shape}")
+    data = _to_uint8(image)
+    path = Path(path)
+    with open(path, "wb") as handle:
+        handle.write(f"P5\n{image.shape[1]} {image.shape[0]}\n255\n".encode("ascii"))
+        handle.write(data.tobytes())
+    return path

@@ -1,0 +1,75 @@
+"""Tests for the color-quantization case study (Figure 9)."""
+
+import numpy as np
+import pytest
+
+from repro.applications import (
+    quantize_khatri_rao_kmeans,
+    quantize_kmeans,
+    quantize_random,
+)
+from repro.datasets import make_quantization_image
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture(scope="module")
+def image():
+    return make_quantization_image(40, 60, random_state=0)
+
+
+class TestGenerators:
+    def test_image_properties(self, image):
+        assert image.shape == (40, 60, 3)
+        assert image.min() >= 0.0 and image.max() <= 1.0
+
+    def test_contains_red_accents(self, image):
+        # Some pixels should be strongly red (the rare-color argument).
+        pixels = image.reshape(-1, 3)
+        red = (pixels[:, 0] > 0.6) & (pixels[:, 1] < 0.3) & (pixels[:, 2] < 0.3)
+        assert red.sum() > 10
+
+
+class TestQuantizers:
+    def test_kmeans_output(self, image):
+        result = quantize_kmeans(image, 12, n_init=3, random_state=0)
+        assert result.image.shape == image.shape
+        assert result.codebook.shape == (12, 3)
+        assert result.stored_vectors == 12
+        assert result.method == "k-means"
+
+    def test_kr_output(self, image):
+        result = quantize_khatri_rao_kmeans(image, (6, 6), n_init=3, random_state=0)
+        assert result.codebook.shape == (36, 3)
+        assert result.stored_vectors == 12  # 6 + 6 stored vectors
+
+    def test_random_output(self, image):
+        result = quantize_random(image, 12, random_state=0)
+        assert result.codebook.shape == (12, 3)
+        # Codebook entries are actual pixels.
+        pixels = image.reshape(-1, 3)
+        for color in result.codebook:
+            assert np.any(np.all(np.isclose(pixels, color), axis=1))
+
+    def test_figure9_ordering(self, image):
+        """The paper's result: random > k-Means > Khatri-Rao inertia at equal
+        stored vectors (4686 / 2009 / 1144 in the paper)."""
+        random_result = quantize_random(image, 12, random_state=0)
+        km_result = quantize_kmeans(image, 12, n_init=10, random_state=0)
+        kr_result = quantize_khatri_rao_kmeans(
+            image, (6, 6), n_init=10, random_state=0
+        )
+        assert km_result.inertia < random_result.inertia
+        assert kr_result.inertia < km_result.inertia
+        assert kr_result.stored_vectors == km_result.stored_vectors == 12
+
+    def test_quantized_image_uses_codebook_colors(self, image):
+        result = quantize_kmeans(image, 6, n_init=2, random_state=0)
+        flat = result.image.reshape(-1, 3)
+        for pixel in flat[:: 97]:
+            assert np.any(np.all(np.isclose(result.codebook, pixel), axis=1))
+
+    def test_rejects_non_rgb(self):
+        with pytest.raises(ValidationError):
+            quantize_kmeans(np.ones((5, 5)), 3)
+        with pytest.raises(ValidationError):
+            quantize_random(np.ones((5, 5, 4)), 3)

@@ -1,0 +1,229 @@
+"""Tests for the dataset generators and the Table 1 registry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    dataset_names,
+    dataset_summary_table,
+    load_dataset,
+    make_blobs,
+    make_chameleon,
+    make_classification,
+    make_digit_images,
+    make_double_digits,
+    make_faces,
+    make_har_features,
+    make_khatri_rao_blobs,
+    make_r15,
+    make_soybean_like,
+    make_stickfigures,
+    make_symbols,
+)
+from repro.exceptions import DatasetError, ValidationError
+from repro.linalg import khatri_rao_combine
+
+
+class TestSyntheticGenerators:
+    def test_blobs_shapes_and_balance(self):
+        X, y = make_blobs(500, n_features=3, n_clusters=10, random_state=0)
+        assert X.shape == (500, 3)
+        counts = np.bincount(y)
+        assert counts.min() == counts.max() == 50
+
+    def test_blobs_separable(self):
+        X, y = make_blobs(200, n_clusters=4, cluster_std=0.1, random_state=0)
+        from repro import KMeans
+        from repro.metrics import adjusted_rand_index
+
+        model = KMeans(4, n_init=5, random_state=0).fit(X)
+        assert adjusted_rand_index(y, model.labels_) > 0.95
+
+    def test_classification_imbalance(self):
+        X, y = make_classification(1000, n_clusters=10, imbalance_ratio=0.5,
+                                   random_state=0)
+        counts = np.bincount(y)
+        assert 0.3 <= counts.min() / counts.max() <= 0.8
+
+    def test_khatri_rao_blobs_structure(self):
+        X, y, thetas = make_khatri_rao_blobs((3, 2), n_samples=300,
+                                             aggregator="sum", random_state=0)
+        assert len(thetas) == 2
+        centroids = khatri_rao_combine(thetas, "sum")
+        assert centroids.shape == (6, 2)
+        # Empirical cluster means are close to the generating centroids.
+        for label in range(6):
+            mean = X[y == label].mean(axis=0)
+            assert np.linalg.norm(mean - centroids[label]) < 0.5
+
+    def test_khatri_rao_blobs_product_positive_protocentroids(self):
+        _, _, thetas = make_khatri_rao_blobs((2, 2), aggregator="product",
+                                             n_samples=100, random_state=0)
+        for theta in thetas:
+            assert np.all(theta > 0)
+
+    def test_r15(self):
+        X, y = make_r15(600, random_state=0)
+        assert X.shape == (600, 2)
+        assert len(np.unique(y)) == 15
+
+    def test_chameleon_noise_and_imbalance(self):
+        X, y = make_chameleon(2000, noise_fraction=0.25, random_state=0)
+        assert X.shape == (2000, 2)
+        assert len(np.unique(y)) == 10
+        counts = np.bincount(y)
+        assert counts.min() / counts.max() < 0.5  # strongly imbalanced
+
+    def test_chameleon_rejects_bad_noise(self):
+        with pytest.raises(ValidationError):
+            make_chameleon(100, noise_fraction=1.0)
+
+    def test_soybean_like_categorical(self):
+        X, y = make_soybean_like(300, n_features=10, n_clusters=5,
+                                 n_categories=4, random_state=0)
+        assert X.shape == (300, 10)
+        assert set(np.unique(X)).issubset({0.0, 1.0, 2.0, 3.0})
+
+    @given(st.integers(20, 100), st.integers(2, 5))
+    @settings(max_examples=15, deadline=None)
+    def test_blobs_label_range(self, n, k):
+        X, y = make_blobs(n, n_clusters=k, random_state=0)
+        assert y.min() >= 0 and y.max() == k - 1
+        assert X.shape[0] == n
+
+
+class TestImageGenerators:
+    def test_digits_shapes(self):
+        X, y = make_digit_images(50, side=14, random_state=0)
+        assert X.shape == (50, 196)
+        assert X.min() >= 0.0 and X.max() <= 1.0
+        assert y.max() < 10
+
+    def test_digits_distinguishable(self):
+        # Same-digit images should be more alike than different digits.
+        X, y = make_digit_images(200, side=14, random_state=0)
+        zeros = X[y == 0]
+        ones = X[y == 1]
+        within = np.linalg.norm(zeros[0] - zeros[1])
+        between = np.linalg.norm(zeros[0] - ones[0])
+        assert within < between
+
+    def test_digits_rejects_too_many_classes(self):
+        with pytest.raises(ValidationError):
+            make_digit_images(10, n_digits=11)
+
+    def test_double_digits_structure(self):
+        X, y = make_double_digits(30, side=14, random_state=0)
+        assert X.shape == (30, 2 * 196)
+        assert y.max() < 100
+
+    def test_double_digits_label_encodes_pair(self):
+        X, y = make_double_digits(100, side=14, n_digits=10, random_state=0)
+        # Left halves of images with same left digit should correlate.
+        left_digit = y // 10
+        side = 14
+        images = X.reshape(-1, side, 2 * side)
+        lefts = images[:, :, :side].reshape(len(y), -1)
+        group0 = lefts[left_digit == left_digit[0]]
+        assert group0.shape[0] >= 2
+
+    def test_stickfigures(self):
+        X, y = make_stickfigures(90, side=20, random_state=0)
+        assert X.shape == (90, 400)
+        assert set(np.unique(y)).issubset(set(range(9)))
+
+    def test_stickfigures_shared_upper_pose(self):
+        """Clusters sharing the upper pose share the top half (KR structure)."""
+        X, y = make_stickfigures(450, side=20, noise=0.0, random_state=0)
+        images = X.reshape(-1, 20, 20)
+        # labels 0,1,2 share upper pose 0; compare top halves.
+        a = images[y == 0][0][:10]
+        b = images[y == 1][0][:10]
+        c = images[y == 3][0][:10]  # different upper pose
+        assert np.allclose(a, b)
+        assert not np.allclose(a, c)
+
+    def test_faces(self):
+        X, y = make_faces(5, 4, height=16, width=16, random_state=0)
+        assert X.shape == (20, 256)
+        assert len(np.unique(y)) == 5
+
+    def test_faces_within_person_similarity(self):
+        X, y = make_faces(4, 6, height=16, width=16, pose_std=0.1, random_state=0)
+        person0 = X[y == 0]
+        person1 = X[y == 1]
+        within = np.linalg.norm(person0[0] - person0[1])
+        between = np.linalg.norm(person0[0] - person1[0])
+        assert within < between
+
+    def test_symbols(self):
+        X, y = make_symbols(60, length=100, random_state=0)
+        assert X.shape == (60, 100)
+        assert y.max() < 6
+
+    def test_symbols_rejects_too_many_classes(self):
+        with pytest.raises(ValidationError):
+            make_symbols(10, n_classes=7)
+
+    def test_har(self):
+        X, y = make_har_features(300, n_features=50, random_state=0)
+        assert X.shape == (300, 50)
+        counts = np.bincount(y)
+        assert 0.4 < counts.min() / counts.max() < 1.0
+
+
+class TestRegistry:
+    def test_names_match_table1(self):
+        names = dataset_names()
+        assert len(names) == 13
+        assert "mnist" in names and "blobs" in names and "r15" in names
+
+    def test_load_scaled(self):
+        ds = load_dataset("r15", scale=0.5, random_state=0)
+        assert ds.n_samples == 300
+        assert ds.n_features == 2
+        assert ds.n_labels == 15
+
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError):
+            load_dataset("imagenet")
+
+    def test_bad_scale(self):
+        with pytest.raises(DatasetError):
+            load_dataset("r15", scale=0.0)
+        with pytest.raises(DatasetError):
+            load_dataset("r15", scale=1.5)
+
+    def test_name_normalization(self):
+        ds = load_dataset("Double MNIST", scale=0.05, random_state=0)
+        assert ds.name == "double_mnist"
+
+    def test_kr_structure_flags(self):
+        assert load_dataset("stickfigures", scale=0.1,
+                            random_state=0).has_khatri_rao_structure
+        assert not load_dataset("r15", scale=0.2,
+                                random_state=0).has_khatri_rao_structure
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_all_datasets_load_small(self, name):
+        ds = load_dataset(name, scale=0.02, random_state=0)
+        assert ds.n_samples >= ds.n_labels
+        assert np.all(np.isfinite(ds.data))
+        assert ds.labels.shape == (ds.n_samples,)
+        assert 0.0 < ds.imbalance_ratio <= 1.0
+
+    def test_standardized_datasets_are_standardized(self):
+        ds = load_dataset("har", scale=0.05, random_state=0)
+        np.testing.assert_allclose(ds.data.mean(axis=0), 0.0, atol=1e-8)
+
+    def test_image_datasets_in_unit_range(self):
+        ds = load_dataset("stickfigures", scale=0.1, random_state=0)
+        assert ds.data.min() >= 0.0 and ds.data.max() <= 1.0
+
+    def test_summary_table_renders(self):
+        table = dataset_summary_table(scale=0.02, random_state=0)
+        assert "Dataset" in table
+        assert "stickfigures" in table
+        assert len(table.splitlines()) == 15  # header + rule + 13 rows

@@ -1,0 +1,49 @@
+"""Tests for the DEC baseline and its Khatri-Rao variant."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_blobs
+from repro.deep import DEC, IDEC, KhatriRaoDEC
+from repro.metrics import unsupervised_clustering_accuracy as acc
+
+FAST = dict(hidden_dims=(32, 8), pretrain_epochs=4, clustering_epochs=4,
+            batch_size=128, kmeans_n_init=3)
+
+
+@pytest.fixture(scope="module")
+def deep_blobs():
+    return make_blobs(300, n_features=16, n_clusters=4, cluster_std=0.5,
+                      random_state=0)
+
+
+class TestDEC:
+    def test_reconstruction_weight_is_zero(self):
+        model = DEC(3, **FAST)
+        assert model.w_rec == 0.0
+
+    def test_fit_recovers_blobs(self, deep_blobs):
+        X, y = deep_blobs
+        model = DEC(4, random_state=0, **FAST).fit(X)
+        assert acc(y, model.labels_) > 0.85
+
+    def test_differs_from_idec_training(self, deep_blobs):
+        X, _ = deep_blobs
+        dec = DEC(4, random_state=0, **FAST).fit(X)
+        idec = IDEC(4, random_state=0, **FAST).fit(X)
+        # Same pretraining, but the clustering-phase objectives differ, so
+        # the learned centroids drift apart.
+        assert not np.allclose(dec.centroids(), idec.centroids())
+
+
+class TestKhatriRaoDEC:
+    def test_fit_and_compression(self, deep_blobs):
+        X, y = deep_blobs
+        model = KhatriRaoDEC((2, 2), random_state=0, **FAST).fit(X)
+        assert model.w_rec == 0.0
+        assert model.n_clusters == 4
+        assert acc(y, model.labels_) > 0.6
+        assert model.result().parameter_ratio < 1.0
+
+    def test_loss_name(self):
+        assert KhatriRaoDEC((2, 2), **FAST).loss_name == "dec"

@@ -1,0 +1,80 @@
+"""API-surface tests for the deep-clustering base machinery."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_blobs
+from repro.deep import DKM, KhatriRaoDKM
+from repro.deep.base import BaseDeepClustering
+from repro.exceptions import ValidationError
+
+FAST = dict(hidden_dims=(16, 4), pretrain_epochs=2, clustering_epochs=2,
+            batch_size=64, kmeans_n_init=2)
+
+
+@pytest.fixture(scope="module")
+def tiny_blobs():
+    return make_blobs(150, n_features=6, n_clusters=4, cluster_std=0.3,
+                      random_state=0)
+
+
+class TestConfiguration:
+    def test_requires_exactly_one_cluster_spec(self):
+        with pytest.raises(ValidationError):
+            BaseDeepClustering(n_clusters=4, cardinalities=(2, 2))
+        with pytest.raises(ValidationError):
+            BaseDeepClustering()
+
+    def test_cardinalities_imply_n_clusters(self):
+        model = BaseDeepClustering(cardinalities=(3, 4))
+        assert model.n_clusters == 12
+        assert model.is_khatri_rao
+
+    def test_plain_model_is_not_kr(self):
+        assert not BaseDeepClustering(n_clusters=5).is_khatri_rao
+
+    def test_compressed_pretrain_factor_floor(self):
+        model = BaseDeepClustering(n_clusters=2, compressed_pretrain_factor=0.1)
+        assert model.compressed_pretrain_factor == 1.0
+
+    def test_invalid_epochs(self):
+        with pytest.raises(ValidationError):
+            BaseDeepClustering(n_clusters=2, pretrain_epochs=0)
+
+
+class TestFittedSurface:
+    def test_loss_histories_lengths(self, tiny_blobs):
+        X, _ = tiny_blobs
+        model = DKM(4, random_state=0, **FAST).fit(X)
+        assert len(model.pretrain_loss_) == FAST["pretrain_epochs"]
+        assert len(model.clustering_loss_) == FAST["clustering_epochs"]
+        assert all(np.isfinite(v) for v in model.pretrain_loss_)
+
+    def test_pretraining_loss_decreases(self, tiny_blobs):
+        X, _ = tiny_blobs
+        model = DKM(4, random_state=0, hidden_dims=(16, 4), pretrain_epochs=15,
+                    clustering_epochs=1, batch_size=64, kmeans_n_init=2).fit(X)
+        assert model.pretrain_loss_[-1] < model.pretrain_loss_[0]
+
+    def test_kr_centroid_params_shapes(self, tiny_blobs):
+        X, _ = tiny_blobs
+        model = KhatriRaoDKM((2, 2), compress_autoencoder=False,
+                             random_state=0, **FAST).fit(X)
+        assert [t.shape for t in model.centroid_params_] == [(2, 4), (2, 4)]
+        # Gradients were applied: protocentroids moved from their init.
+        assert model.centroids().shape == (4, 4)
+
+    def test_transform_predict_consistency(self, tiny_blobs):
+        X, _ = tiny_blobs
+        model = DKM(4, random_state=0, **FAST).fit(X)
+        Z = model.transform(X)
+        centroids = model.centroids()
+        manual = np.argmin(((Z[:, None] - centroids[None]) ** 2).sum(-1), axis=1)
+        np.testing.assert_array_equal(manual, model.predict(X))
+
+    def test_result_parameter_ratio_bounds(self, tiny_blobs):
+        X, _ = tiny_blobs
+        plain = DKM(4, random_state=0, **FAST).fit(X).result()
+        assert plain.parameter_ratio == pytest.approx(1.0)
+        kr = KhatriRaoDKM((2, 2), random_state=0, **FAST).fit(X).result()
+        assert 0.0 < kr.parameter_ratio <= 1.0

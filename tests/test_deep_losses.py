@@ -1,0 +1,148 @@
+"""Tests for the DKM/IDEC losses and the differentiable KR materialization."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.deep.losses import (
+    dkm_loss,
+    idec_loss,
+    idec_target_distribution,
+    materialize_centroid_tensor,
+    pairwise_sq_distances,
+)
+from repro.exceptions import ValidationError
+from repro.linalg import khatri_rao_combine
+
+
+class TestPairwiseDistances:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        Z = rng.normal(size=(5, 3))
+        M = rng.normal(size=(4, 3))
+        out = pairwise_sq_distances(Tensor(Z), Tensor(M)).numpy()
+        expected = ((Z[:, None, :] - M[None, :, :]) ** 2).sum(axis=2)
+        np.testing.assert_allclose(out, expected)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValidationError):
+            pairwise_sq_distances(Tensor(np.ones(3)), Tensor(np.ones((2, 3))))
+
+    def test_gradient_flows_to_both(self):
+        Z = Tensor(np.random.default_rng(1).normal(size=(5, 3)), requires_grad=True)
+        M = Tensor(np.random.default_rng(2).normal(size=(2, 3)), requires_grad=True)
+        pairwise_sq_distances(Z, M).sum().backward()
+        assert Z.grad is not None and M.grad is not None
+
+
+class TestMaterialize:
+    @pytest.mark.parametrize("aggregator", ["sum", "product"])
+    def test_matches_numpy_combine(self, aggregator):
+        rng = np.random.default_rng(0)
+        thetas_np = [rng.normal(size=(3, 4)), rng.normal(size=(2, 4))]
+        thetas = [Tensor(t) for t in thetas_np]
+        out = materialize_centroid_tensor(thetas, aggregator).numpy()
+        np.testing.assert_allclose(out, khatri_rao_combine(thetas_np, aggregator))
+
+    def test_three_sets(self):
+        rng = np.random.default_rng(1)
+        thetas_np = [rng.normal(size=(2, 3)) for _ in range(3)]
+        out = materialize_centroid_tensor([Tensor(t) for t in thetas_np], "sum").numpy()
+        np.testing.assert_allclose(out, khatri_rao_combine(thetas_np, "sum"))
+
+    def test_gradients_scatter_to_protocentroids(self):
+        rng = np.random.default_rng(2)
+        t1 = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        t2 = Tensor(rng.normal(size=(3, 3)), requires_grad=True)
+        M = materialize_centroid_tensor([t1, t2], "sum")
+        M.sum().backward()
+        # Each protocentroid of set 1 affects 3 centroids, of set 2 affects 2.
+        np.testing.assert_allclose(t1.grad, 3 * np.ones((2, 3)))
+        np.testing.assert_allclose(t2.grad, 2 * np.ones((3, 3)))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValidationError):
+            materialize_centroid_tensor([], "sum")
+
+
+class TestDKMLoss:
+    def test_approaches_kmeans_objective_for_large_alpha(self):
+        rng = np.random.default_rng(0)
+        Z = rng.normal(size=(30, 2))
+        M = rng.normal(size=(4, 2))
+        loss = dkm_loss(Tensor(Z), Tensor(M), alpha=1e6).item()
+        distances = ((Z[:, None] - M[None]) ** 2).sum(axis=2)
+        hard = distances.min(axis=1).mean()
+        assert loss == pytest.approx(hard, rel=1e-3)
+
+    def test_stable_at_paper_temperature(self):
+        rng = np.random.default_rng(1)
+        Z = Tensor(rng.normal(size=(20, 5)) * 10, requires_grad=True)
+        M = Tensor(rng.normal(size=(3, 5)) * 10, requires_grad=True)
+        loss = dkm_loss(Z, M, alpha=1000.0)
+        assert np.isfinite(loss.item())
+        loss.backward()
+        assert np.all(np.isfinite(M.grad))
+
+    def test_zero_when_points_on_centroids(self):
+        Z = np.array([[0.0, 0.0], [5.0, 5.0]])
+        loss = dkm_loss(Tensor(Z), Tensor(Z.copy()), alpha=1000.0)
+        assert loss.item() == pytest.approx(0.0, abs=1e-8)
+
+    def test_gradient_pulls_centroid_toward_points(self):
+        Z = Tensor(np.zeros((10, 2)))
+        M = Tensor(np.array([[1.0, 1.0]]), requires_grad=True)
+        dkm_loss(Z, M, alpha=1.0).backward()
+        assert np.all(M.grad > 0)  # moving M down-left reduces the loss
+
+
+class TestIDECLoss:
+    def test_target_distribution_normalized(self):
+        rng = np.random.default_rng(0)
+        q = rng.dirichlet(np.ones(4), size=20)
+        p = idec_target_distribution(q)
+        np.testing.assert_allclose(p.sum(axis=1), np.ones(20))
+        assert np.all(p >= 0)
+
+    def test_target_sharpens_confident_assignments(self):
+        # Sharpening acts relative to cluster frequencies: rows more
+        # confident than the average get pushed further toward their cluster.
+        q = np.array([[0.8, 0.2], [0.7, 0.3], [0.55, 0.45]])
+        p = idec_target_distribution(q)
+        assert p[0, 0] > q[0, 0]
+        assert p[2, 0] < q[2, 0]  # the least confident row is softened
+
+    def test_target_is_fixed_point_for_identical_rows(self):
+        # When every row equals the cluster-frequency vector, the frequency
+        # normalization exactly offsets the squaring.
+        q = np.array([[0.6, 0.4], [0.6, 0.4]])
+        np.testing.assert_allclose(idec_target_distribution(q), q)
+
+    def test_loss_nonnegative(self):
+        rng = np.random.default_rng(1)
+        Z = Tensor(rng.normal(size=(15, 3)))
+        M = Tensor(rng.normal(size=(4, 3)))
+        assert idec_loss(Z, M).item() >= -1e-9
+
+    def test_gradient_descent_reduces_loss(self):
+        # Optimizing centroids under the IDEC loss sharpens the Student's-t
+        # assignments: the loss decreases along the gradient path.
+        rng = np.random.default_rng(2)
+        Z = Tensor(np.vstack([rng.normal(0, 0.2, (15, 2)),
+                              rng.normal(4, 0.2, (15, 2))]))
+        M = Tensor(np.array([[1.0, 1.0], [3.0, 3.0]]), requires_grad=True)
+        initial = idec_loss(Z, M).item()
+        for _ in range(100):
+            M.zero_grad()
+            loss = idec_loss(Z, M)
+            loss.backward()
+            M.data -= 0.5 * M.grad
+        assert idec_loss(Z, M).item() < initial
+
+    def test_gradients_flow(self):
+        rng = np.random.default_rng(3)
+        Z = Tensor(rng.normal(size=(12, 3)), requires_grad=True)
+        M = Tensor(rng.normal(size=(3, 3)), requires_grad=True)
+        idec_loss(Z, M).backward()
+        assert np.all(np.isfinite(Z.grad))
+        assert np.all(np.isfinite(M.grad))

@@ -1,0 +1,148 @@
+"""Tests for the Section 8 design-choice utilities (Propositions 8.1/8.2)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    balanced_factor_pair,
+    balanced_factorization,
+    max_centroids_for_budget,
+    optimal_num_sets,
+    sets_bounds_for_k,
+    suggest_aggregator,
+)
+from repro.exceptions import ValidationError
+from repro.linalg import khatri_rao_combine
+
+
+class TestBalancedFactorPair:
+    def test_paper_example(self):
+        assert balanced_factor_pair(40) == (8, 5)
+
+    def test_square(self):
+        assert balanced_factor_pair(36) == (6, 6)
+
+    def test_prime(self):
+        assert balanced_factor_pair(13) == (13, 1)
+
+    def test_one(self):
+        assert balanced_factor_pair(1) == (1, 1)
+
+    @given(st.integers(1, 500))
+    @settings(max_examples=100, deadline=None)
+    def test_is_closest_factorization(self, k):
+        h1, h2 = balanced_factor_pair(k)
+        assert h1 * h2 == k
+        gap = h1 - h2
+        for a in range(1, int(math.isqrt(k)) + 1):
+            if k % a == 0:
+                assert abs(k // a - a) >= gap
+
+
+class TestBalancedFactorization:
+    def test_two_sets(self):
+        assert balanced_factorization(36, 2) == (6, 6)
+
+    def test_three_sets(self):
+        assert balanced_factorization(64, 3) == (4, 4, 4)
+
+    def test_awkward_value(self):
+        factors = balanced_factorization(100, 3)
+        assert np.prod(factors) == 100
+        assert len(factors) == 3
+
+    @given(st.integers(1, 200), st.integers(1, 4))
+    @settings(max_examples=100, deadline=None)
+    def test_product_preserved(self, k, p):
+        factors = balanced_factorization(k, p)
+        assert len(factors) == p
+        assert int(np.prod(factors)) == k
+
+
+class TestBudget:
+    def test_paper_example_12_vectors(self):
+        # Section 8: 12 vectors in 2 sets -> 36 centroids; in 3 sets -> 64.
+        assert max_centroids_for_budget(12, 2) == 36
+        assert max_centroids_for_budget(12, 3) == 64
+
+    def test_indivisible_raises(self):
+        with pytest.raises(ValidationError):
+            max_centroids_for_budget(10, 3)
+
+    def test_optimal_num_sets_12(self):
+        # Divisors of 12 around 12/e ≈ 4.41 are 4 and 6: 3^4=81 > 2^6=64.
+        assert optimal_num_sets(12) == 4
+
+    def test_optimal_num_sets_6(self):
+        # Divisors around 6/e ≈ 2.21 are 2 and 3: 3^2=9 > 2^3=8.
+        assert optimal_num_sets(6) == 2
+
+    @given(st.integers(2, 120))
+    @settings(max_examples=100, deadline=None)
+    def test_proposition_8_1(self, budget):
+        """The returned p is optimal among ALL divisors of the budget."""
+        best = optimal_num_sets(budget)
+        best_value = max_centroids_for_budget(budget, best)
+        for p in range(1, budget + 1):
+            if budget % p == 0:
+                assert max_centroids_for_budget(budget, p) <= best_value
+
+
+class TestSetsBounds:
+    def test_paper_style_example(self):
+        lower, upper = sets_bounds_for_k(100, 10)
+        assert lower == 2
+        assert upper == 12
+
+    def test_h_min_2(self):
+        lower, upper = sets_bounds_for_k(8, 2)
+        assert lower == 3  # log2(8) = 3
+        assert upper == 8
+
+    def test_h_min_must_exceed_one(self):
+        with pytest.raises(ValidationError):
+            sets_bounds_for_k(10, 1)
+
+    @given(st.integers(2, 1000), st.integers(2, 10))
+    @settings(max_examples=100, deadline=None)
+    def test_proposition_8_2_consistency(self, k, h_min):
+        lower, upper = sets_bounds_for_k(k, h_min)
+        assert 1 <= lower <= upper
+        # h_min^lower >= k must hold (lower bound definition).
+        assert h_min**lower >= k or h_min**lower >= k - 1e-9
+        # The construction in the proof: upper sets of >= h_min protocentroids
+        # always cover k centroids via (h_min - 1) centroids per set.
+        assert upper * (h_min - 1) >= k
+
+
+class TestSuggestAggregator:
+    def test_detects_additive_structure(self):
+        rng = np.random.default_rng(0)
+        t1 = rng.normal(size=(3, 5))
+        t2 = rng.normal(size=(4, 5))
+        grid = khatri_rao_combine([t1, t2], "sum")
+        assert suggest_aggregator(grid, (3, 4)) == "sum"
+
+    def test_detects_multiplicative_structure(self):
+        rng = np.random.default_rng(1)
+        t1 = rng.uniform(0.5, 4.0, size=(3, 5))
+        t2 = rng.uniform(0.5, 4.0, size=(4, 5))
+        grid = khatri_rao_combine([t1, t2], "product")
+        assert suggest_aggregator(grid, (3, 4)) == "product"
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            suggest_aggregator(np.ones((5, 2)), (2, 3))
+
+    @given(st.integers(0, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_additive_grids_classified_additive(self, seed):
+        rng = np.random.default_rng(seed)
+        t1 = 3.0 * rng.normal(size=(3, 4))
+        t2 = 3.0 * rng.normal(size=(3, 4))
+        grid = khatri_rao_combine([t1, t2], "sum")
+        assert suggest_aggregator(grid, (3, 3)) == "sum"

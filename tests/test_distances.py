@@ -1,0 +1,57 @@
+"""Tests for the shared squared-distance kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core._distances import assign_to_nearest, squared_distances
+
+
+class TestSquaredDistances:
+    def test_matches_naive(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(10, 4))
+        C = rng.normal(size=(6, 4))
+        expected = ((X[:, None, :] - C[None, :, :]) ** 2).sum(axis=2)
+        np.testing.assert_allclose(squared_distances(X, C), expected, atol=1e-10)
+
+    def test_zero_on_identical_rows(self):
+        X = np.arange(12.0).reshape(4, 3)
+        distances = squared_distances(X, X)
+        np.testing.assert_allclose(np.diag(distances), 0.0, atol=1e-9)
+
+    def test_never_negative_despite_cancellation(self):
+        # Large offsets provoke floating-point cancellation; the kernel clips.
+        X = 1e8 + np.random.default_rng(1).normal(size=(20, 3))
+        distances = squared_distances(X, X[:5])
+        assert distances.min() >= 0.0
+
+
+class TestAssignToNearest:
+    @given(st.integers(1, 30), st.integers(1, 20), st.integers(0, 25))
+    @settings(max_examples=40, deadline=None)
+    def test_chunked_matches_full(self, k, chunk_size, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(15, 3))
+        C = rng.normal(size=(k, 3))
+        full_labels, full_distances = assign_to_nearest(X, C)
+        chunk_labels, chunk_distances = assign_to_nearest(
+            X, C, chunk_size=chunk_size
+        )
+        np.testing.assert_array_equal(full_labels, chunk_labels)
+        np.testing.assert_allclose(full_distances, chunk_distances, atol=1e-9)
+
+    def test_labels_are_argmin(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(25, 2))
+        C = rng.normal(size=(7, 2))
+        labels, distances = assign_to_nearest(X, C)
+        brute = ((X[:, None, :] - C[None, :, :]) ** 2).sum(axis=2)
+        np.testing.assert_array_equal(labels, brute.argmin(axis=1))
+        np.testing.assert_allclose(distances, brute.min(axis=1), atol=1e-9)
+
+    def test_single_centroid(self):
+        X = np.random.default_rng(3).normal(size=(10, 2))
+        labels, _ = assign_to_nearest(X, X[:1])
+        assert np.all(labels == 0)

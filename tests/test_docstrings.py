@@ -1,0 +1,46 @@
+"""Run the doctest examples embedded in the public-API docstrings.
+
+Every ``Examples`` block in a docstring is executable documentation; this
+module keeps them honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro.applications.color_quantization
+import repro.autodiff.tensor
+import repro.core.design
+import repro.core.minibatch
+import repro.datasets.federated
+import repro.linalg.hadamard
+import repro.linalg.khatri_rao
+import repro.metrics.clustering
+import repro.metrics.compression
+import repro.summary
+import repro.utils.memory
+import repro.utils.timing
+
+MODULES = [
+    repro.linalg.khatri_rao,
+    repro.linalg.hadamard,
+    repro.metrics.clustering,
+    repro.metrics.compression,
+    repro.core.design,
+    repro.core.minibatch,
+    repro.autodiff.tensor,
+    repro.datasets.federated,
+    repro.summary,
+    repro.utils.timing,
+    repro.utils.memory,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(
+        module,
+        optionflags=doctest.NORMALIZE_WHITESPACE | doctest.ELLIPSIS,
+    )
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"no doctests collected from {module.__name__}"

@@ -1,0 +1,57 @@
+"""Additional federated-clustering tests: local steps, shard formats."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import federated_split, make_blobs
+from repro.federated import FederatedKMeans, KhatriRaoFederatedKMeans
+
+
+@pytest.fixture(scope="module")
+def shards():
+    X, y = make_blobs(400, n_features=3, n_clusters=4, cluster_std=0.3,
+                      random_state=0)
+    return federated_split(X, y, 4, alpha=1.0, random_state=0)
+
+
+class TestLocalSteps:
+    def test_more_local_steps_do_not_break(self, shards):
+        model = FederatedKMeans(4, n_rounds=3, local_steps=3,
+                                random_state=0).fit(shards)
+        assert np.isfinite(model.history_.inertia[-1])
+
+    def test_local_steps_help_early_rounds(self, shards):
+        one = FederatedKMeans(4, n_rounds=1, local_steps=1,
+                              random_state=0).fit(shards)
+        many = FederatedKMeans(4, n_rounds=1, local_steps=5,
+                               random_state=0).fit(shards)
+        assert many.history_.inertia[0] <= one.history_.inertia[0] * 1.25
+
+    def test_kr_local_steps(self, shards):
+        model = KhatriRaoFederatedKMeans((2, 2), aggregator="sum", n_rounds=3,
+                                         local_steps=2, random_state=0).fit(shards)
+        assert len(model.history_.inertia) == 3
+
+
+class TestShardHandling:
+    def test_accepts_bare_arrays(self):
+        rng = np.random.default_rng(1)
+        bare = [rng.normal(size=(50, 2)) for _ in range(3)]
+        model = FederatedKMeans(3, n_rounds=2, random_state=0).fit(bare)
+        assert model.cluster_centers_.shape == (3, 2)
+
+    def test_initial_inertia_recorded(self, shards):
+        model = FederatedKMeans(4, n_rounds=2, random_state=0).fit(shards)
+        assert np.isfinite(model.initial_inertia_)
+        assert model.initial_inertia_ >= model.history_.inertia[0] * 0.5
+
+    def test_kr_initial_inertia_recorded(self, shards):
+        model = KhatriRaoFederatedKMeans((2, 2), aggregator="sum", n_rounds=2,
+                                         random_state=0).fit(shards)
+        assert np.isfinite(model.initial_inertia_)
+
+    def test_single_sample_shard(self):
+        rng = np.random.default_rng(2)
+        shards = [rng.normal(size=(80, 2)), rng.normal(size=(1, 2))]
+        model = FederatedKMeans(2, n_rounds=2, random_state=0).fit(shards)
+        assert model.cluster_centers_.shape == (2, 2)

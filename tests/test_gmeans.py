@@ -1,0 +1,54 @@
+"""Tests for G-Means and the Anderson-Darling splitting criterion."""
+
+import numpy as np
+import pytest
+
+from repro.core import GMeans, anderson_darling_rejects_gaussian
+from repro.datasets import make_blobs
+
+
+class TestAndersonDarling:
+    def test_accepts_gaussian_sample(self):
+        rng = np.random.default_rng(0)
+        assert not anderson_darling_rejects_gaussian(rng.normal(size=2000))
+
+    def test_rejects_bimodal_sample(self):
+        rng = np.random.default_rng(1)
+        sample = np.concatenate([rng.normal(-5, 1, 1000), rng.normal(5, 1, 1000)])
+        assert anderson_darling_rejects_gaussian(sample)
+
+    def test_rejects_uniform_sample(self):
+        rng = np.random.default_rng(2)
+        assert anderson_darling_rejects_gaussian(rng.uniform(-1, 1, 5000))
+
+    def test_tiny_samples_never_reject(self):
+        assert not anderson_darling_rejects_gaussian(np.array([1.0, 2.0, 3.0]))
+
+    def test_constant_sample(self):
+        assert not anderson_darling_rejects_gaussian(np.ones(100))
+
+
+class TestGMeans:
+    def test_finds_approximately_true_k(self):
+        X, _ = make_blobs(800, n_features=2, n_clusters=4, cluster_std=0.2,
+                          random_state=0)
+        model = GMeans(k_min=1, k_max=10, random_state=0).fit(X)
+        assert 3 <= model.n_clusters_ <= 6
+
+    def test_single_gaussian_stays_single(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(1500, 2))
+        model = GMeans(k_min=1, k_max=8, random_state=0).fit(X)
+        assert model.n_clusters_ <= 2
+
+    def test_respects_k_max(self):
+        X, _ = make_blobs(600, n_clusters=8, cluster_std=0.1, random_state=4)
+        model = GMeans(k_min=1, k_max=3, random_state=0).fit(X)
+        assert model.n_clusters_ <= 3
+
+    def test_attributes(self):
+        X, _ = make_blobs(400, n_clusters=3, cluster_std=0.2, random_state=5)
+        model = GMeans(k_min=1, k_max=6, random_state=0).fit(X)
+        assert model.cluster_centers_.shape == (model.n_clusters_, 2)
+        assert model.labels_.shape == (400,)
+        assert model.labels_.max() < model.n_clusters_

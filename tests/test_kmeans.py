@@ -1,0 +1,155 @@
+"""Tests for the standard k-Means baseline."""
+
+import numpy as np
+import pytest
+
+from repro import KMeans
+from repro.core.kmeans import kmeans_plus_plus_init
+from repro.exceptions import NotFittedError, ValidationError
+from repro.metrics import adjusted_rand_index, inertia
+
+
+class TestKMeansPlusPlus:
+    def test_shapes(self, blobs_small):
+        X, _ = blobs_small
+        centers = kmeans_plus_plus_init(X, 4, np.random.default_rng(0))
+        assert centers.shape == (4, 2)
+
+    def test_centers_are_data_points(self, blobs_small):
+        X, _ = blobs_small
+        centers = kmeans_plus_plus_init(X, 3, np.random.default_rng(1))
+        for center in centers:
+            assert np.any(np.all(np.isclose(X, center), axis=1))
+
+    def test_spreads_over_clusters(self, blobs_small):
+        X, y = blobs_small
+        centers = kmeans_plus_plus_init(X, 4, np.random.default_rng(2))
+        # With well-separated blobs, ++ should hit all 4 clusters.
+        from repro.core._distances import assign_to_nearest
+
+        labels, _ = assign_to_nearest(X, centers)
+        assert len(np.unique(labels)) == 4
+
+    def test_too_many_clusters(self):
+        with pytest.raises(ValidationError):
+            kmeans_plus_plus_init(np.ones((3, 2)), 5, np.random.default_rng(0))
+
+    def test_degenerate_identical_points(self):
+        X = np.ones((10, 2))
+        centers = kmeans_plus_plus_init(X, 3, np.random.default_rng(0))
+        assert centers.shape == (3, 2)
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self, blobs_small):
+        X, y = blobs_small
+        model = KMeans(4, n_init=5, random_state=0).fit(X)
+        assert adjusted_rand_index(y, model.labels_) == pytest.approx(1.0)
+
+    def test_inertia_matches_metric(self, blobs_small):
+        X, _ = blobs_small
+        model = KMeans(4, n_init=3, random_state=0).fit(X)
+        assert model.inertia_ == pytest.approx(
+            inertia(X, model.labels_, model.cluster_centers_)
+        )
+
+    def test_more_clusters_lower_inertia(self, blobs_small):
+        X, _ = blobs_small
+        i2 = KMeans(2, n_init=5, random_state=0).fit(X).inertia_
+        i4 = KMeans(4, n_init=5, random_state=0).fit(X).inertia_
+        i8 = KMeans(8, n_init=5, random_state=0).fit(X).inertia_
+        assert i8 < i4 < i2
+
+    def test_reproducible_with_seed(self, blobs_small):
+        X, _ = blobs_small
+        a = KMeans(4, random_state=7).fit(X)
+        b = KMeans(4, random_state=7).fit(X)
+        np.testing.assert_array_equal(a.labels_, b.labels_)
+        np.testing.assert_allclose(a.cluster_centers_, b.cluster_centers_)
+
+    def test_random_init_works(self, blobs_small):
+        X, y = blobs_small
+        model = KMeans(4, init="random", n_init=10, random_state=0).fit(X)
+        assert adjusted_rand_index(y, model.labels_) > 0.9
+
+    def test_predict_consistent_with_labels(self, blobs_small):
+        X, _ = blobs_small
+        model = KMeans(4, random_state=0).fit(X)
+        np.testing.assert_array_equal(model.predict(X), model.labels_)
+
+    def test_predict_new_points(self, blobs_small):
+        X, _ = blobs_small
+        model = KMeans(4, random_state=0).fit(X)
+        nearest = model.predict(model.cluster_centers_)
+        np.testing.assert_array_equal(nearest, np.arange(4))
+
+    def test_transform_shape(self, blobs_small):
+        X, _ = blobs_small
+        model = KMeans(4, random_state=0).fit(X)
+        assert model.transform(X).shape == (X.shape[0], 4)
+
+    def test_score_is_negative_inertia(self, blobs_small):
+        X, _ = blobs_small
+        model = KMeans(4, random_state=0).fit(X)
+        assert model.score(X) == pytest.approx(-model.inertia_)
+
+    def test_fit_predict(self, blobs_small):
+        X, _ = blobs_small
+        labels = KMeans(4, random_state=0).fit_predict(X)
+        assert labels.shape == (X.shape[0],)
+
+    def test_parameter_count(self, blobs_small):
+        X, _ = blobs_small
+        model = KMeans(4, random_state=0).fit(X)
+        assert model.parameter_count() == 4 * 2
+
+    def test_not_fitted_errors(self):
+        model = KMeans(3)
+        for method in ("predict", "transform", "score"):
+            with pytest.raises(NotFittedError):
+                getattr(model, method)(np.ones((2, 2)))
+        with pytest.raises(NotFittedError):
+            model.parameter_count()
+
+    def test_feature_mismatch_on_predict(self, blobs_small):
+        X, _ = blobs_small
+        model = KMeans(4, random_state=0).fit(X)
+        with pytest.raises(ValidationError):
+            model.predict(np.ones((2, 5)))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValidationError):
+            KMeans(0)
+        with pytest.raises(ValidationError):
+            KMeans(2, init="bogus")
+        with pytest.raises(ValidationError):
+            KMeans(2, n_init=0)
+
+    def test_k_equals_n(self):
+        X = np.arange(8.0).reshape(4, 2)
+        model = KMeans(4, n_init=2, random_state=0).fit(X)
+        assert model.inertia_ == pytest.approx(0.0)
+
+    def test_single_cluster(self, blobs_small):
+        X, _ = blobs_small
+        model = KMeans(1, n_init=1, random_state=0).fit(X)
+        np.testing.assert_allclose(model.cluster_centers_[0], X.mean(axis=0))
+
+    def test_handles_duplicate_points(self):
+        X = np.vstack([np.zeros((10, 2)), np.ones((10, 2))])
+        model = KMeans(2, n_init=3, random_state=0).fit(X)
+        assert model.inertia_ == pytest.approx(0.0)
+
+    def test_empty_cluster_reseeding(self):
+        # Three far-apart groups, k=3, adversarial initialization is handled
+        # by the farthest-point re-seeding.
+        rng = np.random.default_rng(0)
+        X = np.vstack(
+            [
+                rng.normal(0, 0.01, (20, 2)),
+                rng.normal(5, 0.01, (20, 2)) + [5, 0],
+                rng.normal(0, 0.01, (20, 2)) + [0, 50],
+            ]
+        )
+        model = KMeans(3, n_init=10, random_state=1).fit(X)
+        assert len(np.unique(model.labels_)) == 3

@@ -1,0 +1,279 @@
+"""Tests for Khatri-Rao-k-Means (Algorithm 1 / Proposition 6.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import KhatriRaoKMeans, KMeans
+from repro.exceptions import NotFittedError, ValidationError
+from repro.linalg import khatri_rao_combine
+from repro.metrics import adjusted_rand_index, inertia, unsupervised_clustering_accuracy
+
+
+class TestBasics:
+    def test_properties(self):
+        model = KhatriRaoKMeans((3, 4))
+        assert model.n_clusters == 12
+        assert model.n_protocentroids == 7
+
+    def test_fit_shapes(self, blobs_grid_9):
+        X, _, _ = blobs_grid_9
+        model = KhatriRaoKMeans((3, 3), aggregator="sum", n_init=5, random_state=0).fit(X)
+        assert len(model.protocentroids_) == 2
+        assert model.protocentroids_[0].shape == (3, 2)
+        assert model.labels_.shape == (X.shape[0],)
+        assert model.set_labels_.shape == (X.shape[0], 2)
+        assert model.centroids().shape == (9, 2)
+
+    def test_parameter_count(self, blobs_grid_9):
+        X, _, _ = blobs_grid_9
+        model = KhatriRaoKMeans((3, 3), n_init=2, random_state=0).fit(X)
+        assert model.parameter_count() == 6 * 2  # (h1+h2) * m
+
+    def test_invalid_params(self):
+        with pytest.raises(ValidationError):
+            KhatriRaoKMeans(())
+        with pytest.raises(ValidationError):
+            KhatriRaoKMeans((2, 0))
+        with pytest.raises(ValidationError):
+            KhatriRaoKMeans((2, 2), init="bogus")
+        with pytest.raises(ValidationError):
+            KhatriRaoKMeans((2, 2), mode="bogus")
+        with pytest.raises(ValidationError):
+            KhatriRaoKMeans((2, 2), aggregator="min")
+
+    def test_not_fitted(self):
+        model = KhatriRaoKMeans((2, 2))
+        with pytest.raises(NotFittedError):
+            model.centroids()
+        with pytest.raises(NotFittedError):
+            model.predict(np.ones((2, 2)))
+
+    def test_feature_mismatch_on_predict(self, blobs_grid_9):
+        X, _, _ = blobs_grid_9
+        model = KhatriRaoKMeans((3, 3), n_init=2, random_state=0).fit(X)
+        with pytest.raises(ValidationError):
+            model.predict(np.ones((2, 7)))
+
+
+class TestCorrectness:
+    def test_recovers_additive_grid(self, blobs_grid_9):
+        """On exactly KR(+)-structured data, the 3x3 model recovers all 9
+        clusters.  Like the paper (which restarts 20 times and keeps the
+        best), recovery needs several initializations — we use 50 since this
+        grid's local minima are adversarial."""
+        X, y, _ = blobs_grid_9
+        model = KhatriRaoKMeans(
+            (3, 3), aggregator="sum", n_init=50, random_state=0
+        ).fit(X)
+        assert adjusted_rand_index(y, model.labels_) == pytest.approx(1.0)
+
+    def test_recovers_multiplicative_grid(self):
+        from repro.datasets import make_khatri_rao_blobs
+
+        X, y, _ = make_khatri_rao_blobs(
+            (3, 3), n_samples=450, aggregator="product", cluster_std=0.05,
+            random_state=2,
+        )
+        model = KhatriRaoKMeans(
+            (3, 3), aggregator="product", n_init=20, random_state=0
+        ).fit(X)
+        assert adjusted_rand_index(y, model.labels_) > 0.95
+
+    def test_beats_equal_parameter_kmeans_on_structured_data(self, blobs_grid_9):
+        """The paper's headline: KR with h1+h2 vectors beats k-means with h1+h2 centroids."""
+        X, _, _ = blobs_grid_9
+        kr = KhatriRaoKMeans((3, 3), aggregator="sum", n_init=20, random_state=0).fit(X)
+        km = KMeans(6, n_init=20, random_state=0).fit(X)
+        assert kr.inertia_ < km.inertia_
+
+    def test_never_beats_full_kmeans_materially(self, blobs_grid_9):
+        """k-Means with h1*h2 centroids is the optimistic bound (Table 2)."""
+        X, _, _ = blobs_grid_9
+        kr = KhatriRaoKMeans((3, 3), aggregator="sum", n_init=20, random_state=0).fit(X)
+        km = KMeans(9, n_init=20, random_state=0).fit(X)
+        assert kr.inertia_ >= km.inertia_ * 0.999
+
+    def test_inertia_matches_reported_labels(self, blobs_grid_9):
+        X, _, _ = blobs_grid_9
+        model = KhatriRaoKMeans((3, 3), n_init=5, random_state=0).fit(X)
+        assert model.inertia_ == pytest.approx(
+            inertia(X, model.labels_, model.centroids())
+        )
+
+    def test_labels_consistent_with_set_labels(self, blobs_grid_9):
+        X, _, _ = blobs_grid_9
+        model = KhatriRaoKMeans((3, 3), n_init=3, random_state=0).fit(X)
+        reconstructed = np.ravel_multi_index(
+            tuple(model.set_labels_.T), model.cardinalities
+        )
+        np.testing.assert_array_equal(reconstructed, model.labels_)
+
+    def test_predict_matches_labels(self, blobs_grid_9):
+        X, _, _ = blobs_grid_9
+        model = KhatriRaoKMeans((3, 3), n_init=3, random_state=0).fit(X)
+        np.testing.assert_array_equal(model.predict(X), model.labels_)
+
+    def test_single_set_reduces_to_kmeans_objective(self, blobs_small):
+        """With p=1 and h1=k, the problem is exactly k-Means (Section 4.1)."""
+        X, y = blobs_small
+        kr = KhatriRaoKMeans((4,), n_init=20, random_state=0).fit(X)
+        km = KMeans(4, init="random", n_init=20, random_state=0).fit(X)
+        assert kr.inertia_ == pytest.approx(km.inertia_, rel=1e-6)
+
+    def test_three_sets(self):
+        from repro.datasets import make_khatri_rao_blobs
+
+        X, y, _ = make_khatri_rao_blobs(
+            (2, 2, 2), n_samples=400, n_features=3, aggregator="sum",
+            cluster_std=0.05, random_state=1,
+        )
+        model = KhatriRaoKMeans(
+            (2, 2, 2), aggregator="sum", n_init=20, random_state=0
+        ).fit(X)
+        assert model.centroids().shape == (8, 3)
+        assert adjusted_rand_index(y, model.labels_) > 0.9
+
+    def test_stickfigures_perfect_summary(self):
+        """Reproduces the Table 2 stickfigures row: ACC = 1.0 with 6 vectors."""
+        from repro.datasets import load_dataset
+
+        ds = load_dataset("stickfigures", scale=0.2, random_state=0)
+        model = KhatriRaoKMeans(
+            (3, 3), aggregator="sum", n_init=20, random_state=0
+        ).fit(ds.data)
+        assert unsupervised_clustering_accuracy(ds.labels, model.labels_) == 1.0
+        assert model.parameter_count() == 6 * ds.n_features
+
+
+class TestUpdates:
+    """Proposition 6.1: closed-form updates are stationary points."""
+
+    @pytest.mark.parametrize("aggregator", ["sum", "product"])
+    def test_update_minimizes_objective(self, aggregator):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(0.5, 2.0, size=(60, 3))
+        model = KhatriRaoKMeans((2, 3), aggregator=aggregator, n_init=1,
+                                max_iter=1, random_state=0)
+        thetas = [rng.uniform(0.5, 2.0, size=(2, 3)), rng.uniform(0.5, 2.0, size=(3, 3))]
+        labels, _ = model._assign(X, thetas, True)
+        set_labels = model.set_assignments(labels)
+        updated = model._update_protocentroids(X, thetas, set_labels, rng)
+
+        # The second set is updated last, so it is the stationary point of
+        # the objective given the (already updated) first set and fixed
+        # assignments — perturbing it can only increase the objective.
+        def objective(t1):
+            centroids = khatri_rao_combine([updated[0], t1], aggregator)
+            return np.sum((X - centroids[labels]) ** 2)
+
+        base = objective(updated[1])
+        for _ in range(20):
+            perturbed = updated[1] + 0.01 * rng.normal(size=updated[1].shape)
+            assert objective(perturbed) >= base - 1e-9
+
+    def test_sum_update_formula(self):
+        # Directly verify Prop 6.1 for the sum aggregator on a tiny case.
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(30, 2))
+        model = KhatriRaoKMeans((2, 2), aggregator="sum", random_state=0)
+        thetas = [rng.normal(size=(2, 2)), rng.normal(size=(2, 2))]
+        labels, _ = model._assign(X, thetas, True)
+        set_labels = model.set_assignments(labels)
+        updated = model._update_protocentroids(X, thetas, set_labels, rng)
+        for j in range(2):
+            mask = set_labels[:, 0] == j
+            if not mask.any():
+                continue
+            expected = np.mean(
+                X[mask] - thetas[1][set_labels[mask, 1]], axis=0
+            )
+            np.testing.assert_allclose(updated[0][j], expected, atol=1e-12)
+
+    def test_product_update_formula(self):
+        rng = np.random.default_rng(2)
+        X = rng.uniform(0.5, 2.0, size=(40, 2))
+        model = KhatriRaoKMeans((2, 2), aggregator="product", random_state=0)
+        thetas = [rng.uniform(0.5, 2.0, size=(2, 2)), rng.uniform(0.5, 2.0, size=(2, 2))]
+        labels, _ = model._assign(X, thetas, True)
+        set_labels = model.set_assignments(labels)
+        updated = model._update_protocentroids(X, thetas, set_labels, rng)
+        for j in range(2):
+            mask = set_labels[:, 0] == j
+            if not mask.any():
+                continue
+            rest = thetas[1][set_labels[mask, 1]]
+            expected = np.sum(X[mask] * rest, axis=0) / np.sum(rest * rest, axis=0)
+            np.testing.assert_allclose(updated[0][j], expected, atol=1e-10)
+
+
+class TestModes:
+    @pytest.mark.parametrize("chunk_size", [1, 3, 7, 100])
+    def test_memory_mode_matches_time_mode(self, blobs_grid_9, chunk_size):
+        X, _, _ = blobs_grid_9
+        time_model = KhatriRaoKMeans(
+            (3, 3), mode="time", n_init=3, random_state=5
+        ).fit(X)
+        memory_model = KhatriRaoKMeans(
+            (3, 3), mode="memory", chunk_size=chunk_size, n_init=3, random_state=5
+        ).fit(X)
+        assert memory_model.inertia_ == pytest.approx(time_model.inertia_)
+        np.testing.assert_array_equal(memory_model.labels_, time_model.labels_)
+
+    def test_auto_mode_runs(self, blobs_grid_9):
+        X, _, _ = blobs_grid_9
+        model = KhatriRaoKMeans((3, 3), mode="auto", n_init=2, random_state=0).fit(X)
+        assert np.isfinite(model.inertia_)
+
+    def test_plus_plus_init(self, blobs_grid_9):
+        X, y, _ = blobs_grid_9
+        model = KhatriRaoKMeans(
+            (3, 3), init="kr-k-means++", aggregator="sum", n_init=10, random_state=0
+        ).fit(X)
+        # ++-style seeding finds a reasonable (not necessarily optimal)
+        # solution within few restarts.
+        assert adjusted_rand_index(y, model.labels_) > 0.7
+
+    def test_plus_plus_init_product(self):
+        from repro.datasets import make_khatri_rao_blobs
+
+        X, y, _ = make_khatri_rao_blobs(
+            (2, 3), n_samples=300, aggregator="product", cluster_std=0.05,
+            random_state=4,
+        )
+        model = KhatriRaoKMeans(
+            (2, 3), init="kr-k-means++", aggregator="product", n_init=10,
+            random_state=0,
+        ).fit(X)
+        assert np.isfinite(model.inertia_)
+
+
+class TestProperties:
+    @given(st.integers(2, 4), st.integers(2, 4), st.sampled_from(["sum", "product"]))
+    @settings(max_examples=10, deadline=None)
+    def test_fit_invariants(self, h1, h2, aggregator):
+        rng = np.random.default_rng(h1 * 10 + h2)
+        X = rng.uniform(0.5, 3.0, size=(80, 3))
+        model = KhatriRaoKMeans(
+            (h1, h2), aggregator=aggregator, n_init=2, max_iter=30, random_state=0
+        ).fit(X)
+        # Labels are valid flat indices.
+        assert model.labels_.min() >= 0
+        assert model.labels_.max() < h1 * h2
+        # Inertia equals recomputed objective.
+        assert model.inertia_ == pytest.approx(
+            inertia(X, model.labels_, model.centroids())
+        )
+        # Centroid count and parameter count follow the formulas.
+        assert model.centroids().shape == (h1 * h2, 3)
+        assert model.parameter_count() == (h1 + h2) * 3
+
+    @given(st.integers(0, 5))
+    @settings(max_examples=6, deadline=None)
+    def test_restarts_never_hurt(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(60, 2))
+        one = KhatriRaoKMeans((2, 2), n_init=1, random_state=seed).fit(X)
+        many = KhatriRaoKMeans((2, 2), n_init=8, random_state=seed).fit(X)
+        assert many.inertia_ <= one.inertia_ + 1e-9

@@ -1,0 +1,120 @@
+"""Unit and property tests for the sum/product aggregators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import ValidationError
+from repro.linalg import ProductAggregator, SumAggregator, get_aggregator
+
+finite_vectors = arrays(
+    np.float64,
+    st.integers(1, 8),
+    elements=st.floats(-100, 100, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestGetAggregator:
+    @pytest.mark.parametrize("name", ["sum", "+", "add", "SUM"])
+    def test_sum_aliases(self, name):
+        assert isinstance(get_aggregator(name), SumAggregator)
+
+    @pytest.mark.parametrize("name", ["product", "*", "x", "prod", "mul"])
+    def test_product_aliases(self, name):
+        assert isinstance(get_aggregator(name), ProductAggregator)
+
+    def test_instance_passthrough(self):
+        agg = SumAggregator()
+        assert get_aggregator(agg) is agg
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValidationError):
+            get_aggregator("minimum")
+
+    def test_non_string_raises(self):
+        with pytest.raises(ValidationError):
+            get_aggregator(3)
+
+
+class TestSumAggregator:
+    def test_combine_two(self):
+        agg = SumAggregator()
+        out = agg.combine([np.array([1.0, 2.0]), np.array([3.0, 4.0])])
+        np.testing.assert_allclose(out, [4.0, 6.0])
+
+    def test_combine_three(self):
+        agg = SumAggregator()
+        out = agg.combine([np.ones(3)] * 3)
+        np.testing.assert_allclose(out, 3 * np.ones(3))
+
+    def test_combine_empty_raises(self):
+        with pytest.raises(ValidationError):
+            SumAggregator().combine([])
+
+    def test_identity(self):
+        np.testing.assert_array_equal(SumAggregator().identity((2, 3)), np.zeros((2, 3)))
+
+    def test_identity_is_neutral(self):
+        agg = SumAggregator()
+        v = np.array([1.5, -2.0])
+        np.testing.assert_allclose(agg.pair(v, agg.identity(v.shape)), v)
+
+    def test_combine_does_not_mutate_inputs(self):
+        a = np.array([1.0, 2.0])
+        b = np.array([3.0, 4.0])
+        SumAggregator().combine([a, b])
+        np.testing.assert_array_equal(a, [1.0, 2.0])
+
+    @given(finite_vectors, st.integers(1, 4))
+    @settings(max_examples=50, deadline=None)
+    def test_split_roundtrip(self, vector, parts):
+        agg = SumAggregator()
+        pieces = agg.split(vector, parts)
+        assert len(pieces) == parts
+        np.testing.assert_allclose(agg.combine(pieces), vector, atol=1e-9)
+
+    def test_split_invalid_parts(self):
+        with pytest.raises(ValidationError):
+            SumAggregator().split(np.ones(2), 0)
+
+
+class TestProductAggregator:
+    def test_combine_is_hadamard(self):
+        agg = ProductAggregator()
+        out = agg.combine([np.array([2.0, 3.0]), np.array([4.0, -1.0])])
+        np.testing.assert_allclose(out, [8.0, -3.0])
+
+    def test_identity(self):
+        np.testing.assert_array_equal(ProductAggregator().identity(4), np.ones(4))
+
+    def test_identity_is_neutral(self):
+        agg = ProductAggregator()
+        v = np.array([1.5, -2.0, 0.0])
+        np.testing.assert_allclose(agg.pair(v, agg.identity(v.shape)), v)
+
+    @given(finite_vectors, st.integers(1, 4))
+    @settings(max_examples=50, deadline=None)
+    def test_split_roundtrip(self, vector, parts):
+        agg = ProductAggregator()
+        pieces = agg.split(vector, parts)
+        assert len(pieces) == parts
+        np.testing.assert_allclose(agg.combine(pieces), vector, atol=1e-7, rtol=1e-7)
+
+    def test_split_handles_negative_entries(self):
+        agg = ProductAggregator()
+        vector = np.array([-8.0, 27.0])
+        pieces = agg.split(vector, 3)
+        np.testing.assert_allclose(agg.combine(pieces), vector, rtol=1e-9)
+
+    def test_split_handles_zeros(self):
+        agg = ProductAggregator()
+        pieces = agg.split(np.array([0.0, 1.0]), 2)
+        np.testing.assert_allclose(agg.combine(pieces), [0.0, 1.0])
+
+    def test_combine_broadcasts_in_pair(self):
+        agg = ProductAggregator()
+        out = agg.pair(np.ones((2, 1, 3)), 2.0 * np.ones((1, 4, 3)))
+        assert out.shape == (2, 4, 3)
+        assert np.all(out == 2.0)

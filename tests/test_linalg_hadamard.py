@@ -1,0 +1,133 @@
+"""Tests for the Hadamard decomposition (Eq. 6 machinery)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.linalg import (
+    HadamardDecomposition,
+    hadamard_parameter_count,
+    hadamard_reconstruct,
+    init_hadamard_factors,
+)
+from repro.linalg.hadamard import max_representable_rank
+
+
+class TestReconstruct:
+    def test_single_factor_is_matmul(self):
+        rng = np.random.default_rng(0)
+        A, B = rng.normal(size=(4, 2)), rng.normal(size=(2, 5))
+        np.testing.assert_allclose(hadamard_reconstruct([(A, B)]), A @ B)
+
+    def test_two_factors(self):
+        rng = np.random.default_rng(1)
+        pairs = [(rng.normal(size=(3, 2)), rng.normal(size=(2, 4))) for _ in range(2)]
+        expected = (pairs[0][0] @ pairs[0][1]) * (pairs[1][0] @ pairs[1][1])
+        np.testing.assert_allclose(hadamard_reconstruct(pairs), expected)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValidationError):
+            hadamard_reconstruct([])
+
+    def test_incompatible_inner_dims(self):
+        with pytest.raises(ValidationError):
+            hadamard_reconstruct([(np.ones((3, 2)), np.ones((3, 4)))])
+
+    def test_mismatched_output_shapes(self):
+        with pytest.raises(ValidationError):
+            hadamard_reconstruct(
+                [
+                    (np.ones((3, 2)), np.ones((2, 4))),
+                    (np.ones((2, 2)), np.ones((2, 4))),
+                ]
+            )
+
+
+class TestParameterCount:
+    def test_formula(self):
+        # 2 factors of rank 10 on a 100x50 matrix: 2 * 10 * 150.
+        assert hadamard_parameter_count(100, 50, [10, 10]) == 3000
+
+    def test_beats_dense_for_small_ranks(self):
+        assert hadamard_parameter_count(100, 100, [10, 10]) < 100 * 100
+
+    @given(st.integers(1, 50), st.integers(1, 50), st.lists(st.integers(1, 5), min_size=1, max_size=3))
+    @settings(max_examples=50, deadline=None)
+    def test_linear_in_ranks(self, d, m, ranks):
+        assert hadamard_parameter_count(d, m, ranks) == sum(r * (d + m) for r in ranks)
+
+
+class TestMaxRepresentableRank:
+    def test_product_of_ranks(self):
+        assert max_representable_rank([3, 4]) == 12
+
+    def test_hadamard_product_exceeds_factor_rank(self):
+        # Rank(A1B1 ⊙ A2B2) can exceed the ranks of both factors — the
+        # representational argument behind Eq. 6.
+        rng = np.random.default_rng(2)
+        pairs = [(rng.normal(size=(6, 2)), rng.normal(size=(2, 6))) for _ in range(2)]
+        product = hadamard_reconstruct(pairs)
+        assert np.linalg.matrix_rank(product) > 2
+
+
+class TestInitFactors:
+    def test_shapes(self):
+        factors = init_hadamard_factors(8, 6, [2, 3], random_state=0)
+        assert factors[0][0].shape == (8, 2)
+        assert factors[0][1].shape == (2, 6)
+        assert factors[1][0].shape == (8, 3)
+        assert factors[1][1].shape == (3, 6)
+
+    def test_scale_control(self):
+        factors = init_hadamard_factors(200, 200, [8, 8], scale=0.5, random_state=0)
+        product = hadamard_reconstruct(factors)
+        # Entry std of the product should be on the order of `scale`.
+        assert 0.1 < np.std(product) < 2.5
+
+    def test_empty_ranks_raises(self):
+        with pytest.raises(ValidationError):
+            init_hadamard_factors(4, 4, [])
+
+
+class TestHadamardDecomposition:
+    def test_recovers_exact_structure(self):
+        rng = np.random.default_rng(3)
+        true = hadamard_reconstruct(
+            [(rng.normal(size=(10, 2)), rng.normal(size=(2, 8))) for _ in range(2)]
+        )
+        fit = HadamardDecomposition([2, 2], max_iter=2000, random_state=0).fit(true)
+        error = np.sum((fit.reconstruct() - true) ** 2)
+        assert error < 0.05 * np.sum(true**2)
+
+    def test_loss_history_decreases(self):
+        rng = np.random.default_rng(4)
+        W = rng.normal(size=(12, 9))
+        fit = HadamardDecomposition([3], max_iter=100, random_state=0).fit(W)
+        losses = fit.loss_history_
+        assert losses[-1] <= losses[0]
+
+    def test_single_factor_matches_low_rank_error_scale(self):
+        # With one factor, the decomposition is plain low-rank fitting; it
+        # should get close to the SVD truncation error.
+        rng = np.random.default_rng(5)
+        W = rng.normal(size=(15, 10))
+        fit = HadamardDecomposition([4], max_iter=3000, learning_rate=0.02,
+                                    random_state=0).fit(W)
+        _, s, _ = np.linalg.svd(W)
+        svd_error = float(np.sum(s[4:] ** 2))
+        fit_error = float(np.sum((fit.reconstruct() - W) ** 2))
+        assert fit_error < 1.6 * svd_error + 1e-6
+
+    def test_reconstruct_before_fit_raises(self):
+        with pytest.raises(ValidationError):
+            HadamardDecomposition([2]).reconstruct()
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValidationError):
+            HadamardDecomposition([2]).fit(np.ones(5))
+
+    def test_parameter_count_method(self):
+        decomposition = HadamardDecomposition([2, 3])
+        assert decomposition.parameter_count(10, 20) == (2 + 3) * 30

@@ -1,0 +1,160 @@
+"""Unit and property tests for the Khatri-Rao operators and index maps."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.linalg import (
+    flat_to_tuple,
+    khatri_rao_combine,
+    khatri_rao_product,
+    num_combinations,
+    tuple_to_flat,
+)
+
+cardinalities_strategy = st.lists(st.integers(1, 5), min_size=1, max_size=4).map(tuple)
+
+
+class TestNumCombinations:
+    def test_product(self):
+        assert num_combinations((3, 4, 2)) == 24
+
+    def test_single_set(self):
+        assert num_combinations((7,)) == 7
+
+    @given(cardinalities_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_matches_numpy_prod(self, cards):
+        assert num_combinations(cards) == int(np.prod(cards))
+
+
+class TestIndexMaps:
+    @given(cardinalities_strategy, st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip(self, cards, data):
+        flat = data.draw(st.integers(0, num_combinations(cards) - 1))
+        assert tuple_to_flat(flat_to_tuple(flat, cards), cards) == flat
+
+    def test_c_order_last_fastest(self):
+        # With cards (2, 3) the flat order is (0,0),(0,1),(0,2),(1,0)...
+        assert flat_to_tuple(0, (2, 3)) == (0, 0)
+        assert flat_to_tuple(1, (2, 3)) == (0, 1)
+        assert flat_to_tuple(3, (2, 3)) == (1, 0)
+
+    def test_matches_numpy_unravel(self):
+        cards = (3, 4, 2)
+        for flat in range(num_combinations(cards)):
+            assert flat_to_tuple(flat, cards) == tuple(
+                int(i) for i in np.unravel_index(flat, cards)
+            )
+
+    def test_out_of_range_flat(self):
+        with pytest.raises(ValidationError):
+            flat_to_tuple(6, (2, 3))
+
+    def test_out_of_range_tuple(self):
+        with pytest.raises(ValidationError):
+            tuple_to_flat((2, 0), (2, 3))
+
+    def test_wrong_arity(self):
+        with pytest.raises(ValidationError):
+            tuple_to_flat((0,), (2, 3))
+
+
+class TestKhatriRaoCombine:
+    def test_sum_two_sets(self):
+        a = np.array([[0.0], [1.0]])
+        b = np.array([[10.0], [20.0], [30.0]])
+        out = khatri_rao_combine([a, b], "sum")
+        np.testing.assert_allclose(out.ravel(), [10, 20, 30, 11, 21, 31])
+
+    def test_product_two_sets(self):
+        a = np.array([[2.0], [3.0]])
+        b = np.array([[5.0], [7.0]])
+        out = khatri_rao_combine([a, b], "product")
+        np.testing.assert_allclose(out.ravel(), [10, 14, 15, 21])
+
+    def test_single_set_is_identity(self):
+        a = np.array([[1.0, 2.0], [3.0, 4.0]])
+        np.testing.assert_allclose(khatri_rao_combine([a], "sum"), a)
+
+    def test_row_count(self):
+        sets = [np.ones((2, 3)), np.ones((3, 3)), np.ones((4, 3))]
+        assert khatri_rao_combine(sets, "sum").shape == (24, 3)
+
+    def test_ordering_matches_index_maps(self):
+        rng = np.random.default_rng(0)
+        cards = (2, 3, 2)
+        thetas = [rng.normal(size=(h, 4)) for h in cards]
+        combined = khatri_rao_combine(thetas, "sum")
+        for flat in range(num_combinations(cards)):
+            indices = flat_to_tuple(flat, cards)
+            expected = sum(theta[i] for theta, i in zip(thetas, indices))
+            np.testing.assert_allclose(combined[flat], expected)
+
+    def test_product_ordering_matches_index_maps(self):
+        rng = np.random.default_rng(1)
+        cards = (3, 2)
+        thetas = [rng.uniform(0.5, 2.0, size=(h, 3)) for h in cards]
+        combined = khatri_rao_combine(thetas, "product")
+        for flat in range(num_combinations(cards)):
+            i, j = flat_to_tuple(flat, cards)
+            np.testing.assert_allclose(combined[flat], thetas[0][i] * thetas[1][j])
+
+    def test_mismatched_feature_dims(self):
+        with pytest.raises(ValidationError, match="feature dimension"):
+            khatri_rao_combine([np.ones((2, 3)), np.ones((2, 4))], "sum")
+
+    def test_requires_2d_sets(self):
+        with pytest.raises(ValidationError):
+            khatri_rao_combine([np.ones(3)], "sum")
+
+    def test_empty_input(self):
+        with pytest.raises(ValidationError):
+            khatri_rao_combine([], "sum")
+
+    @given(
+        st.integers(1, 4), st.integers(1, 4), st.integers(1, 3),
+        st.sampled_from(["sum", "product"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_brute_force_equivalence(self, h1, h2, m, aggregator):
+        rng = np.random.default_rng(h1 * 100 + h2 * 10 + m)
+        t1 = rng.normal(size=(h1, m))
+        t2 = rng.normal(size=(h2, m))
+        combined = khatri_rao_combine([t1, t2], aggregator)
+        op = (lambda a, b: a + b) if aggregator == "sum" else (lambda a, b: a * b)
+        brute = np.array([op(t1[i], t2[j]) for i in range(h1) for j in range(h2)])
+        np.testing.assert_allclose(combined, brute)
+
+
+class TestKhatriRaoProduct:
+    def test_known_value(self):
+        A = np.array([[1.0, 2.0]])
+        B = np.array([[3.0, 4.0], [5.0, 6.0]])
+        np.testing.assert_allclose(
+            khatri_rao_product(A, B), [[3.0, 8.0], [5.0, 12.0]]
+        )
+
+    def test_matches_scipy(self):
+        from scipy.linalg import khatri_rao as scipy_kr
+
+        rng = np.random.default_rng(3)
+        A = rng.normal(size=(4, 3))
+        B = rng.normal(size=(5, 3))
+        np.testing.assert_allclose(khatri_rao_product(A, B), scipy_kr(A, B))
+
+    def test_column_mismatch(self):
+        with pytest.raises(ValidationError):
+            khatri_rao_product(np.ones((2, 2)), np.ones((2, 3)))
+
+    def test_connection_to_combine(self):
+        # Rows-as-protocentroids with product aggregator ≙ Khatri-Rao product
+        # of the transposed matrices (the naming connection of Section 3).
+        rng = np.random.default_rng(5)
+        t1 = rng.normal(size=(2, 3))
+        t2 = rng.normal(size=(4, 3))
+        combined = khatri_rao_combine([t1, t2], "product")
+        np.testing.assert_allclose(combined, khatri_rao_product(t1, t2))

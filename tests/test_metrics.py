@@ -1,0 +1,200 @@
+"""Tests for clustering-quality and compression metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.metrics import (
+    adjusted_rand_index,
+    contingency_matrix,
+    inertia,
+    normalized_mutual_information,
+    parameter_ratio,
+    purity,
+    summary_parameter_count,
+    unsupervised_clustering_accuracy,
+)
+
+labels_strategy = st.lists(st.integers(0, 4), min_size=2, max_size=40)
+
+
+class TestContingency:
+    def test_counts(self):
+        table = contingency_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        np.testing.assert_array_equal(table, [[1, 1], [0, 2]])
+
+    def test_handles_non_consecutive_labels(self):
+        table = contingency_matrix([10, 10, 99], [5, 7, 7])
+        assert table.sum() == 3
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            contingency_matrix([0, 1], [0])
+
+    def test_empty(self):
+        with pytest.raises(ValidationError):
+            contingency_matrix([], [])
+
+
+class TestARI:
+    def test_perfect(self):
+        assert adjusted_rand_index([0, 0, 1, 1], [1, 1, 0, 0]) == 1.0
+
+    def test_known_value(self):
+        # Classic example with ARI ≈ 0.24242...
+        true = [0, 0, 0, 1, 1, 1]
+        pred = [0, 0, 1, 1, 2, 2]
+        assert adjusted_rand_index(true, pred) == pytest.approx(0.24242, abs=1e-4)
+
+    def test_independent_partitions_near_zero(self):
+        rng = np.random.default_rng(0)
+        true = rng.integers(0, 5, 2000)
+        pred = rng.integers(0, 5, 2000)
+        assert abs(adjusted_rand_index(true, pred)) < 0.05
+
+    def test_single_cluster_each(self):
+        assert adjusted_rand_index([0, 0, 0], [1, 1, 1]) == 1.0
+
+    @given(labels_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_self_agreement(self, labels):
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+    @given(labels_strategy, st.integers(0, 10))
+    @settings(max_examples=50, deadline=None)
+    def test_symmetry(self, labels, seed):
+        rng = np.random.default_rng(seed)
+        other = rng.integers(0, 3, len(labels))
+        assert adjusted_rand_index(labels, other) == pytest.approx(
+            adjusted_rand_index(other, labels)
+        )
+
+    @given(labels_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_permutation_invariance(self, labels):
+        relabeled = [(l + 1) % 5 for l in labels]
+        assert adjusted_rand_index(labels, relabeled) == pytest.approx(1.0)
+
+
+class TestNMI:
+    def test_perfect(self):
+        assert normalized_mutual_information([0, 1, 0, 1], [1, 0, 1, 0]) == 1.0
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(1)
+        true = rng.integers(0, 4, 3000)
+        pred = rng.integers(0, 4, 3000)
+        assert normalized_mutual_information(true, pred) < 0.05
+
+    def test_bounds(self):
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            a = rng.integers(0, 4, 50)
+            b = rng.integers(0, 4, 50)
+            value = normalized_mutual_information(a, b)
+            assert 0.0 <= value <= 1.0
+
+    def test_trivial_partitions(self):
+        assert normalized_mutual_information([0, 0, 0], [0, 0, 0]) == 1.0
+
+    @given(labels_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_self_agreement_when_nontrivial(self, labels):
+        value = normalized_mutual_information(labels, labels)
+        assert value == pytest.approx(1.0)
+
+
+class TestACC:
+    def test_perfect_after_relabeling(self):
+        assert unsupervised_clustering_accuracy([0, 0, 1, 1], [1, 1, 0, 0]) == 1.0
+
+    def test_known_value(self):
+        # Best mapping fixes 3 of 4 points.
+        assert unsupervised_clustering_accuracy([0, 0, 1, 1], [0, 1, 1, 1]) == 0.75
+
+    def test_more_clusters_than_classes(self):
+        value = unsupervised_clustering_accuracy([0, 0, 1, 1], [0, 1, 2, 3])
+        assert value == 0.5
+
+    def test_fewer_clusters_than_classes(self):
+        value = unsupervised_clustering_accuracy([0, 1, 2, 3], [0, 0, 1, 1])
+        assert value == 0.5
+
+    @given(labels_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_at_least_plain_accuracy(self, labels):
+        rng = np.random.default_rng(0)
+        pred = rng.integers(0, 3, len(labels))
+        plain = float(np.mean(np.asarray(labels) == pred))
+        assert unsupervised_clustering_accuracy(labels, pred) >= plain - 1e-12
+
+
+class TestPurity:
+    def test_known_value(self):
+        assert purity([0, 0, 1, 1], [0, 0, 0, 1]) == 0.75
+
+    def test_singletons_are_pure(self):
+        assert purity([0, 1, 2], [0, 1, 2]) == 1.0
+
+    def test_purity_at_least_acc(self):
+        # Purity allows many-to-one mapping, so purity >= ACC.
+        rng = np.random.default_rng(3)
+        true = rng.integers(0, 3, 100)
+        pred = rng.integers(0, 6, 100)
+        assert purity(true, pred) >= unsupervised_clustering_accuracy(true, pred) - 1e-12
+
+
+class TestInertia:
+    def test_zero_for_points_on_centroids(self):
+        X = np.array([[0.0, 0.0], [1.0, 1.0]])
+        assert inertia(X, [0, 1], X.copy()) == 0.0
+
+    def test_known_value(self):
+        X = np.array([[0.0], [2.0]])
+        centroids = np.array([[1.0]])
+        assert inertia(X, [0, 0], centroids) == 2.0
+
+    def test_matches_kmeans_objective(self, blobs_small):
+        from repro import KMeans
+
+        X, _ = blobs_small
+        model = KMeans(4, n_init=2, random_state=0).fit(X)
+        assert inertia(X, model.labels_, model.cluster_centers_) == pytest.approx(
+            model.inertia_
+        )
+
+    def test_invalid_labels(self):
+        with pytest.raises(ValidationError):
+            inertia(np.ones((2, 2)), [0, 5], np.ones((2, 2)))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            inertia(np.ones((3, 2)), [0, 1], np.ones((2, 2)))
+
+
+class TestCompressionMetrics:
+    def test_centroid_count(self):
+        assert summary_parameter_count(64, n_centroids=36) == 2304
+
+    def test_protocentroid_count(self):
+        assert summary_parameter_count(64, cardinalities=(6, 6)) == 768
+
+    def test_extra_parameters(self):
+        assert summary_parameter_count(10, n_centroids=2, extra=5) == 25
+
+    def test_mutual_exclusion(self):
+        with pytest.raises(ValidationError):
+            summary_parameter_count(10, n_centroids=2, cardinalities=(2, 2))
+        with pytest.raises(ValidationError):
+            summary_parameter_count(10)
+
+    def test_parameter_ratio(self):
+        assert parameter_ratio(768, 2304) == pytest.approx(1 / 3)
+
+    def test_kr_saves_when_product_exceeds_sum(self):
+        # h1 + h2 < h1 * h2 whenever both exceed... the paper's condition.
+        kr = summary_parameter_count(100, cardinalities=(6, 6))
+        full = summary_parameter_count(100, n_centroids=36)
+        assert kr < full

@@ -1,0 +1,112 @@
+"""Tests for the naïve two-phase approach (Section 5, Eq. 8)."""
+
+import numpy as np
+import pytest
+
+from repro import KhatriRaoKMeans, NaiveKhatriRao
+from repro.core.naive import decompose_centroids
+from repro.exceptions import NotFittedError, ValidationError
+from repro.linalg import khatri_rao_combine
+
+
+class TestDecomposeCentroids:
+    @pytest.mark.parametrize("aggregator", ["sum", "product"])
+    def test_exact_structure_recovered(self, aggregator):
+        rng = np.random.default_rng(0)
+        if aggregator == "product":
+            thetas_true = [rng.uniform(0.5, 2.0, size=(3, 4)) for _ in (0, 1)]
+        else:
+            thetas_true = [rng.normal(size=(3, 4)) for _ in (0, 1)]
+        centroids = khatri_rao_combine(thetas_true, aggregator)
+        thetas, error = decompose_centroids(
+            centroids, (3, 3), aggregator=aggregator, random_state=0
+        )
+        assert error < 1e-6 * max(np.sum(centroids**2), 1.0)
+        approx = khatri_rao_combine(thetas, aggregator)
+        np.testing.assert_allclose(approx, centroids, atol=1e-3)
+
+    def test_unstructured_centroids_have_residual(self):
+        rng = np.random.default_rng(1)
+        centroids = rng.normal(size=(9, 5))
+        _, error = decompose_centroids(centroids, (3, 3), aggregator="sum",
+                                       random_state=0)
+        assert error > 0.01  # generic centroids are not KR-representable
+
+    def test_error_decreases_relative_to_init(self):
+        rng = np.random.default_rng(2)
+        centroids = rng.uniform(0.5, 2.0, size=(6, 3))
+        thetas, error = decompose_centroids(
+            centroids, (2, 3), aggregator="product", random_state=0
+        )
+        assert np.isfinite(error)
+        approx = khatri_rao_combine(thetas, "product")
+        assert np.sum((approx - centroids) ** 2) == pytest.approx(error)
+
+    def test_row_count_mismatch(self):
+        with pytest.raises(ValidationError):
+            decompose_centroids(np.ones((5, 2)), (2, 3))
+
+    def test_three_sets(self):
+        rng = np.random.default_rng(3)
+        thetas_true = [rng.normal(size=(2, 3)) for _ in range(3)]
+        centroids = khatri_rao_combine(thetas_true, "sum")
+        thetas, error = decompose_centroids(
+            centroids, (2, 2, 2), aggregator="sum", random_state=0
+        )
+        assert len(thetas) == 3
+        assert error < 1e-6 * max(np.sum(centroids**2), 1.0)
+
+
+class TestNaiveKhatriRao:
+    def test_fit_pipeline(self, blobs_grid_9):
+        X, y, _ = blobs_grid_9
+        model = NaiveKhatriRao((3, 3), aggregator="sum", n_init=5, random_state=0).fit(X)
+        assert model.initial_centroids_.shape == (9, 2)
+        assert model.centroids().shape == (9, 2)
+        assert model.labels_.shape == (X.shape[0],)
+        assert np.isfinite(model.inertia_)
+        assert model.parameter_count() == 6 * 2
+
+    def test_phase1_quality_can_be_destroyed(self, blobs_grid_9):
+        """Section 5's limitation: even when the phase-1 centroids are exactly
+        KR-structured, k-Means returns them in arbitrary row order, so the
+        order-sensitive decomposition generally cannot recover the structure
+        and the summary degrades relative to phase 1."""
+        X, _, _ = blobs_grid_9
+        from repro import KMeans
+
+        model = NaiveKhatriRao((3, 3), aggregator="sum", n_init=10, random_state=0).fit(X)
+        km = KMeans(9, n_init=10, random_state=0).fit(X)
+        assert model.inertia_ >= km.inertia_
+
+    def test_grid_ordered_centroids_decompose_exactly(self, blobs_grid_9):
+        """When centroids ARE supplied in grid order, phase 2 is near-exact."""
+        X, _, (theta1, theta2) = blobs_grid_9
+        centroids = (theta1[:, None, :] + theta2[None, :, :]).reshape(9, 2)
+        thetas, error = decompose_centroids(
+            centroids, (3, 3), aggregator="sum", random_state=0
+        )
+        assert error < 1e-6 * np.sum(centroids**2)
+
+    def test_joint_optimization_beats_naive_on_generic_data(self):
+        """Section 5's motivation: two-phase is dominated by KR-k-Means."""
+        rng = np.random.default_rng(4)
+        X = rng.uniform(0.5, 3.0, size=(300, 4))
+        naive = NaiveKhatriRao((3, 3), aggregator="product", n_init=10,
+                               random_state=0).fit(X)
+        joint = KhatriRaoKMeans((3, 3), aggregator="product", n_init=10,
+                                random_state=0).fit(X)
+        assert joint.inertia_ <= naive.inertia_ * 1.05
+
+    def test_not_fitted(self):
+        model = NaiveKhatriRao((2, 2))
+        with pytest.raises(NotFittedError):
+            model.centroids()
+        with pytest.raises(NotFittedError):
+            model.parameter_count()
+
+    def test_fit_predict(self, blobs_grid_9):
+        X, _, _ = blobs_grid_9
+        labels = NaiveKhatriRao((3, 3), n_init=2, random_state=0).fit_predict(X)
+        assert labels.shape == (X.shape[0],)
+        assert labels.max() < 9

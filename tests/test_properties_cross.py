@@ -1,0 +1,86 @@
+"""Cross-subsystem property-based tests (hypothesis).
+
+These properties tie independent implementations together: the numpy
+Khatri-Rao operator vs the autodiff materialization, compression accounting
+vs actual array sizes, serialization roundtrips, and objective invariants
+that must hold for any data.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import DataSummary, KhatriRaoKMeans
+from repro.autodiff import Tensor
+from repro.deep.losses import materialize_centroid_tensor
+from repro.linalg import khatri_rao_combine, num_combinations
+from repro.metrics import summary_parameter_count
+
+cards_strategy = st.lists(st.integers(1, 4), min_size=1, max_size=3).map(tuple)
+aggregator_strategy = st.sampled_from(["sum", "product"])
+
+
+class TestOperatorEquivalence:
+    @given(cards_strategy, aggregator_strategy, st.integers(1, 4), st.integers(0, 50))
+    @settings(max_examples=60, deadline=None)
+    def test_numpy_and_autodiff_materialization_agree(self, cards, aggregator,
+                                                      m, seed):
+        rng = np.random.default_rng(seed)
+        thetas = [rng.normal(size=(h, m)) for h in cards]
+        numpy_result = khatri_rao_combine(thetas, aggregator)
+        tensor_result = materialize_centroid_tensor(
+            [Tensor(t) for t in thetas], aggregator
+        ).numpy()
+        np.testing.assert_allclose(numpy_result, tensor_result, atol=1e-12)
+
+    @given(cards_strategy, st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_parameter_accounting_matches_array_sizes(self, cards, m):
+        rng = np.random.default_rng(0)
+        thetas = [rng.normal(size=(h, m)) for h in cards]
+        summary = DataSummary(thetas)
+        assert summary.parameter_count == summary_parameter_count(
+            m, cardinalities=cards
+        )
+        assert summary.parameter_count == sum(t.size for t in thetas)
+
+    @given(cards_strategy, aggregator_strategy, st.integers(0, 20))
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_summary_roundtrip(self, tmp_path, cards, aggregator, seed):
+        rng = np.random.default_rng(seed)
+        thetas = [rng.normal(size=(h, 3)) for h in cards]
+        summary = DataSummary(thetas, aggregator_name=aggregator,
+                              metadata={"seed": seed})
+        loaded = DataSummary.load(summary.save(tmp_path / f"s{seed}.npz"))
+        np.testing.assert_allclose(loaded.centroids(), summary.centroids())
+        assert loaded.metadata["seed"] == seed
+
+
+class TestObjectiveInvariants:
+    @given(st.integers(0, 8), aggregator_strategy)
+    @settings(max_examples=8, deadline=None)
+    def test_fitted_inertia_is_achievable_by_any_assignment(self, seed, aggregator):
+        """The fitted labeling must be the *nearest-centroid* labeling:
+        no other assignment of points to the same centroids does better."""
+        rng = np.random.default_rng(seed)
+        X = rng.uniform(0.5, 2.5, size=(50, 2))
+        model = KhatriRaoKMeans((2, 2), aggregator=aggregator, n_init=2,
+                                max_iter=25, random_state=seed).fit(X)
+        centroids = model.centroids()
+        random_labels = rng.integers(0, 4, size=50)
+        random_inertia = float(np.sum((X - centroids[random_labels]) ** 2))
+        assert model.inertia_ <= random_inertia + 1e-9
+
+    @given(st.integers(0, 8))
+    @settings(max_examples=8, deadline=None)
+    def test_num_combinations_bounds_labels(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(40, 2))
+        cards = (2, 3)
+        model = KhatriRaoKMeans(cards, n_init=1, max_iter=15,
+                                random_state=seed).fit(X)
+        assert model.labels_.max() < num_combinations(cards)
+        assert model.set_labels_[:, 0].max() < cards[0]
+        assert model.set_labels_[:, 1].max() < cards[1]

@@ -1,0 +1,84 @@
+"""Tests for the reporting helpers and the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets import make_blobs
+from repro.reporting import compare_methods, evaluate_summary, render_comparison
+
+
+class TestReporting:
+    def test_evaluate_summary_panel(self):
+        X, y = make_blobs(200, n_clusters=4, cluster_std=0.1, random_state=0)
+        from repro import KMeans
+
+        model = KMeans(4, n_init=5, random_state=0).fit(X)
+        panel = evaluate_summary(X, y, model.labels_, model.cluster_centers_)
+        assert set(panel) == {"ari", "acc", "nmi", "inertia"}
+        assert panel["acc"] > 0.9
+        assert panel["inertia"] == pytest.approx(model.inertia_)
+
+    def test_compare_methods_order_and_budget(self):
+        X, y = make_blobs(300, n_clusters=9, random_state=1)
+        results = compare_methods(X, y, 9, n_init=3, random_state=0)
+        assert len(results) == 4
+        # First two are the KR variants at (3, 3).
+        assert results[0].method.startswith("Khatri-Rao-k-Means-+")
+        assert results[1].method.startswith("Khatri-Rao-k-Means-x")
+        # Equal-parameter baseline, then the optimistic bound.
+        assert results[2].parameters == results[0].parameters
+        assert results[3].parameters > results[0].parameters
+
+    def test_compare_methods_prime_k_fallback(self):
+        X, y = make_blobs(200, n_clusters=7, random_state=2)
+        results = compare_methods(X, y, 7, n_init=2, random_state=0)
+        # 7 is prime: the protocol falls back to factoring 8 -> (4, 2).
+        assert "(4, 2)" in results[0].method
+
+    def test_render_comparison(self):
+        X, y = make_blobs(200, n_clusters=4, random_state=3)
+        block = render_comparison(compare_methods(X, y, 4, n_init=2,
+                                                  random_state=0))
+        assert "ARI" in block and "params*" in block
+        assert len(block.splitlines()) == 7  # header, rule, 4 rows, footnote
+
+
+class TestCLI:
+    def test_parser_version_and_commands(self):
+        parser = build_parser()
+        for command in ("datasets", "fit", "summary", "quantize"):
+            args = parser.parse_args(
+                [command] + (["--dataset", "r15"] if command == "fit" else [])
+                + (["x.npz"] if command == "summary" else [])
+            )
+            assert args.command == command
+
+    def test_datasets_command(self, capsys):
+        assert main(["datasets", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "stickfigures" in out
+
+    def test_fit_command_with_save(self, tmp_path, capsys):
+        target = tmp_path / "summary.npz"
+        code = main([
+            "fit", "--dataset", "r15", "--scale", "0.3", "--n-init", "2",
+            "--cardinalities", "5", "3", "--save", str(target),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Khatri-Rao-k-Means-+" in out
+        assert target.exists()
+
+        assert main(["summary", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "15 clusters" in out
+
+    def test_quantize_command(self, capsys):
+        assert main(["quantize", "--colors", "3", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "khatri-rao-k-means" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

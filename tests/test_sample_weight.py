@@ -1,0 +1,91 @@
+"""Tests for sample-weight support in the k-Means family."""
+
+import numpy as np
+import pytest
+
+from repro import KhatriRaoKMeans, KMeans
+from repro.exceptions import ValidationError
+
+
+class TestKMeansWeights:
+    def test_unit_weights_match_unweighted(self, blobs_small):
+        X, _ = blobs_small
+        plain = KMeans(4, n_init=3, random_state=0).fit(X)
+        weighted = KMeans(4, n_init=3, random_state=0).fit(X, np.ones(X.shape[0]))
+        assert weighted.inertia_ == pytest.approx(plain.inertia_)
+        np.testing.assert_allclose(
+            np.sort(weighted.cluster_centers_, axis=0),
+            np.sort(plain.cluster_centers_, axis=0),
+        )
+
+    def test_integer_weights_equal_repetition(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(30, 2))
+        counts = rng.integers(1, 4, size=30)
+        repeated = np.repeat(X, counts, axis=0)
+        weighted = KMeans(3, n_init=5, random_state=0).fit(X, counts.astype(float))
+        replicated = KMeans(3, n_init=5, random_state=0).fit(repeated)
+        assert weighted.inertia_ == pytest.approx(replicated.inertia_, rel=0.05)
+
+    def test_heavy_point_attracts_centroid(self):
+        X = np.array([[0.0, 0.0], [1.0, 0.0], [10.0, 0.0]])
+        weights = np.array([1.0, 1.0, 100.0])
+        model = KMeans(1, n_init=1, random_state=0).fit(X, weights)
+        # Weighted mean is dominated by the heavy point.
+        assert model.cluster_centers_[0, 0] > 9.0
+
+    def test_invalid_weights(self, blobs_small):
+        X, _ = blobs_small
+        with pytest.raises(ValidationError):
+            KMeans(2).fit(X, np.ones(3))
+        with pytest.raises(ValidationError):
+            KMeans(2).fit(X, -np.ones(X.shape[0]))
+        with pytest.raises(ValidationError):
+            KMeans(2).fit(X, np.zeros(X.shape[0]))
+
+
+class TestKhatriRaoWeights:
+    def test_unit_weights_match_unweighted(self, blobs_grid_9):
+        X, _, _ = blobs_grid_9
+        plain = KhatriRaoKMeans((3, 3), n_init=3, random_state=0).fit(X)
+        weighted = KhatriRaoKMeans((3, 3), n_init=3, random_state=0).fit(
+            X, np.ones(X.shape[0])
+        )
+        assert weighted.inertia_ == pytest.approx(plain.inertia_)
+
+    def test_weighted_updates_are_stationary(self):
+        """The weighted Prop 6.1 update minimizes the weighted objective."""
+        rng = np.random.default_rng(1)
+        X = rng.uniform(0.5, 2.0, size=(60, 3))
+        weights = rng.uniform(0.1, 5.0, size=60)
+        model = KhatriRaoKMeans((2, 3), aggregator="product", random_state=0)
+        thetas = [rng.uniform(0.5, 2.0, size=(2, 3)),
+                  rng.uniform(0.5, 2.0, size=(3, 3))]
+        labels, _ = model._assign(X, thetas, True)
+        set_labels = model.set_assignments(labels)
+        updated = model._update_protocentroids(X, thetas, set_labels, rng, weights)
+
+        from repro.linalg import khatri_rao_combine
+
+        def objective(t1):
+            centroids = khatri_rao_combine([updated[0], t1], "product")
+            return float(np.sum(weights[:, None] * (X - centroids[labels]) ** 2))
+
+        base = objective(updated[1])
+        for _ in range(15):
+            perturbed = updated[1] + 0.01 * rng.normal(size=updated[1].shape)
+            assert objective(perturbed) >= base - 1e-9
+
+    def test_weights_shift_protocentroids(self):
+        rng = np.random.default_rng(2)
+        X = rng.uniform(0.5, 2.0, size=(100, 2))
+        weights = np.ones(100)
+        weights[:10] = 50.0
+        plain = KhatriRaoKMeans((2, 2), n_init=5, random_state=0).fit(X)
+        weighted = KhatriRaoKMeans((2, 2), n_init=5, random_state=0).fit(X, weights)
+        assert not np.allclose(plain.centroids(), weighted.centroids())
+
+    def test_invalid_weights(self, blobs_grid_9):
+        X, _, _ = blobs_grid_9
+        with pytest.raises(ValidationError):
+            KhatriRaoKMeans((2, 2)).fit(X, np.ones(5))

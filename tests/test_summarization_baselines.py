@@ -1,0 +1,81 @@
+"""Tests for the non-clustering summarization baselines (Section 2)."""
+
+import numpy as np
+import pytest
+
+from repro.applications import compare_summaries, pca_summary, sampling_summary
+from repro.datasets import make_blobs
+from repro.exceptions import ValidationError
+
+
+class TestSampling:
+    def test_uniform_returns_data_points(self):
+        X, _ = make_blobs(100, n_clusters=4, random_state=0)
+        sample = sampling_summary(X, 5, random_state=0)
+        assert sample.shape == (5, 2)
+        for row in sample:
+            assert np.any(np.all(np.isclose(X, row), axis=1))
+
+    def test_weighted_spreads_over_modes(self):
+        X, y = make_blobs(400, n_clusters=4, cluster_std=0.1, random_state=1)
+        from repro.core._distances import assign_to_nearest
+
+        sample = sampling_summary(X, 4, weighted=True, random_state=0)
+        labels, _ = assign_to_nearest(X, sample)
+        # D² sampling should carve out most of the 4 far-apart blobs.
+        assert len(np.unique(labels)) >= 3
+
+    def test_budget_capped_at_n(self):
+        X = np.random.default_rng(0).normal(size=(3, 2))
+        assert sampling_summary(X, 10, random_state=0).shape[0] == 3
+
+
+class TestPCA:
+    def test_sketch_contents(self):
+        X, _ = make_blobs(100, n_features=5, n_clusters=3, random_state=2)
+        sketch = pca_summary(X, 2)
+        assert sketch["mean"].shape == (5,)
+        assert sketch["axes"].shape == (2, 5)
+        assert np.all(np.diff(sketch["singular_values"]) <= 1e-9)
+
+    def test_axes_orthonormal(self):
+        X, _ = make_blobs(120, n_features=6, n_clusters=3, random_state=3)
+        axes = pca_summary(X, 3)["axes"]
+        np.testing.assert_allclose(axes @ axes.T, np.eye(3), atol=1e-8)
+
+    def test_rank_clipped(self):
+        X = np.random.default_rng(1).normal(size=(10, 3))
+        sketch = pca_summary(X, 50)
+        assert sketch["axes"].shape[0] <= 2
+
+
+class TestCompareSummaries:
+    def test_budgets_and_methods(self):
+        X, _ = make_blobs(300, n_clusters=9, random_state=4)
+        rows = compare_summaries(X, (3, 3), n_init=3, random_state=0)
+        methods = [row.method for row in rows]
+        assert methods == [
+            "uniform-sample", "d2-sample", "k-means(6)", "pca-sketch",
+            "khatri-rao-k-means(3, 3)",
+        ]
+        # Sampling / k-means / KR all store the same vector budget.
+        budget_params = 6 * X.shape[1]
+        for row in rows:
+            if row.method != "pca-sketch":
+                assert row.parameters == budget_params
+
+    def test_kr_beats_sampling_at_same_budget(self):
+        X, _ = make_blobs(500, n_clusters=25, cluster_std=0.3, random_state=5)
+        rows = {row.method: row for row in
+                compare_summaries(X, (5, 5), n_init=5, random_state=0)}
+        kr = rows["khatri-rao-k-means(5, 5)"]
+        assert kr.inertia < rows["uniform-sample"].inertia
+        assert kr.inertia < rows["d2-sample"].inertia
+        # And, on many-cluster data, beats k-means at the same budget
+        # (the paper's central claim).
+        assert kr.inertia < rows["k-means(10)"].inertia
+
+    def test_invalid_cardinalities(self):
+        X = np.random.default_rng(0).normal(size=(30, 2))
+        with pytest.raises(ValidationError):
+            compare_summaries(X, (0, 3))

@@ -1,0 +1,121 @@
+"""Tests for the portable DataSummary artifact."""
+
+import numpy as np
+import pytest
+
+from repro import DataSummary, KhatriRaoKMeans, KMeans, summarize
+from repro.datasets import make_blobs
+from repro.exceptions import ValidationError
+from repro.linalg import khatri_rao_combine
+
+
+@pytest.fixture(scope="module")
+def fitted_models():
+    X, y = make_blobs(300, n_clusters=9, random_state=0)
+    kr = KhatriRaoKMeans((3, 3), n_init=5, random_state=0).fit(X)
+    km = KMeans(9, n_init=5, random_state=0).fit(X)
+    return X, kr, km
+
+
+class TestConstruction:
+    def test_properties(self):
+        rng = np.random.default_rng(0)
+        summary = DataSummary([rng.normal(size=(3, 4)), rng.normal(size=(2, 4))])
+        assert summary.cardinalities == (3, 2)
+        assert summary.n_clusters == 6
+        assert summary.stored_vectors == 5
+        assert summary.n_features == 4
+        assert summary.parameter_count == 20
+        assert summary.compression_ratio() == pytest.approx(5 / 6)
+
+    def test_centroids_match_combine(self):
+        rng = np.random.default_rng(1)
+        thetas = [rng.normal(size=(2, 3)), rng.normal(size=(3, 3))]
+        summary = DataSummary(thetas, aggregator_name="product")
+        np.testing.assert_allclose(
+            summary.centroids(), khatri_rao_combine(thetas, "product")
+        )
+
+    def test_empty_sets_rejected(self):
+        with pytest.raises(ValidationError):
+            DataSummary([])
+
+    def test_mismatched_features_rejected(self):
+        with pytest.raises(ValidationError):
+            DataSummary([np.ones((2, 3)), np.ones((2, 4))])
+
+    def test_bad_aggregator_rejected(self):
+        with pytest.raises(ValidationError):
+            DataSummary([np.ones((2, 3))], aggregator_name="median")
+
+
+class TestBehavior:
+    def test_assign_and_inertia(self, fitted_models):
+        X, kr, _ = fitted_models
+        summary = summarize(kr)
+        labels = summary.assign(X)
+        np.testing.assert_array_equal(labels, kr.labels_)
+        assert summary.inertia(X) == pytest.approx(kr.inertia_)
+
+    def test_assign_feature_mismatch(self, fitted_models):
+        _, kr, _ = fitted_models
+        with pytest.raises(ValidationError):
+            summarize(kr).assign(np.ones((2, 7)))
+
+    def test_report_contains_key_facts(self, fitted_models):
+        _, kr, _ = fitted_models
+        report = summarize(kr, metadata={"dataset": "blobs"}).report()
+        assert "9 clusters" in report
+        assert "(3, 3)" in report
+        assert "blobs" in report
+
+
+class TestSummarize:
+    def test_from_kr_model(self, fitted_models):
+        _, kr, _ = fitted_models
+        summary = summarize(kr)
+        assert summary.cardinalities == (3, 3)
+        assert summary.aggregator_name == "sum"
+        assert summary.metadata["algorithm"] == "KhatriRaoKMeans"
+        assert summary.metadata["inertia"] == pytest.approx(kr.inertia_)
+
+    def test_from_kmeans_model(self, fitted_models):
+        _, _, km = fitted_models
+        summary = summarize(km)
+        assert summary.cardinalities == (9,)
+        assert summary.n_clusters == 9
+
+    def test_unfitted_model_rejected(self):
+        with pytest.raises(ValidationError):
+            summarize(KMeans(3))
+
+    def test_copies_are_independent(self, fitted_models):
+        _, kr, _ = fitted_models
+        summary = summarize(kr)
+        summary.protocentroids[0][0, 0] += 100.0
+        assert kr.protocentroids_[0][0, 0] != summary.protocentroids[0][0, 0]
+
+
+class TestPersistence:
+    def test_roundtrip(self, fitted_models, tmp_path):
+        X, kr, _ = fitted_models
+        summary = summarize(kr, metadata={"dataset": "blobs", "note": "test"})
+        path = summary.save(tmp_path / "summary.npz")
+        loaded = DataSummary.load(path)
+        assert loaded.cardinalities == summary.cardinalities
+        assert loaded.aggregator_name == summary.aggregator_name
+        assert loaded.metadata["note"] == "test"
+        np.testing.assert_allclose(loaded.centroids(), summary.centroids())
+        np.testing.assert_array_equal(loaded.assign(X), summary.assign(X))
+
+    def test_save_appends_extension(self, fitted_models, tmp_path):
+        _, kr, _ = fitted_models
+        path = summarize(kr).save(tmp_path / "summary")
+        assert path.suffix == ".npz"
+        assert DataSummary.load(path).n_clusters == 9
+
+    def test_load_rejects_foreign_archives(self, tmp_path):
+        foreign = tmp_path / "foreign.npz"
+        np.savez(foreign, data=np.ones(3))
+        with pytest.raises(ValidationError):
+            DataSummary.load(foreign)

@@ -1,0 +1,46 @@
+"""Tests for timing and memory utilities."""
+
+import numpy as np
+
+from repro.utils import Timer, peak_memory_mib, track_peak_memory
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            sum(range(10000))
+        assert t.elapsed >= 0.0
+
+    def test_reusable(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            sum(range(100000))
+        assert t.elapsed >= 0.0
+        assert t.elapsed != first or t.elapsed >= 0.0
+
+
+class TestMemory:
+    def test_tracks_allocation(self):
+        with track_peak_memory() as mem:
+            _ = np.zeros((500, 500))
+        assert mem["peak_mib"] > 1.0
+
+    def test_peak_memory_mib_returns_result(self):
+        result, peak = peak_memory_mib(lambda n: np.ones((n, n)).sum(), 200)
+        assert result == 200 * 200
+        assert peak > 0.0
+
+    def test_larger_allocations_report_larger_peaks(self):
+        _, small = peak_memory_mib(lambda: np.zeros((100, 100)))
+        _, large = peak_memory_mib(lambda: np.zeros((1000, 1000)))
+        assert large > small
+
+    def test_nested_tracking(self):
+        with track_peak_memory() as outer:
+            with track_peak_memory() as inner:
+                _ = np.zeros((300, 300))
+        assert inner["peak_mib"] > 0.0
+        assert outer["peak_mib"] >= 0.0

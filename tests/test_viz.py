@@ -1,0 +1,93 @@
+"""Tests for the dependency-free visualization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.viz import ascii_bar_chart, ascii_image, ascii_line_chart, ascii_scatter, save_pgm, save_ppm
+
+
+class TestNetpbm:
+    def test_ppm_roundtrip_header_and_size(self, tmp_path):
+        image = np.random.default_rng(0).random((5, 7, 3))
+        path = save_ppm(image, tmp_path / "x.ppm")
+        raw = path.read_bytes()
+        assert raw.startswith(b"P6\n7 5\n255\n")
+        assert len(raw) == len(b"P6\n7 5\n255\n") + 5 * 7 * 3
+
+    def test_ppm_pixel_values(self, tmp_path):
+        image = np.zeros((1, 2, 3))
+        image[0, 1] = 1.0
+        raw = save_ppm(image, tmp_path / "x.ppm").read_bytes()
+        assert raw[-6:] == bytes([0, 0, 0, 255, 255, 255])
+
+    def test_pgm(self, tmp_path):
+        image = np.linspace(0, 1, 6).reshape(2, 3)
+        raw = save_pgm(image, tmp_path / "x.pgm").read_bytes()
+        assert raw.startswith(b"P5\n3 2\n255\n")
+        assert len(raw) == len(b"P5\n3 2\n255\n") + 6
+
+    def test_rejects_out_of_range(self, tmp_path):
+        with pytest.raises(ValidationError):
+            save_pgm(np.full((2, 2), 2.0), tmp_path / "x.pgm")
+
+    def test_rejects_wrong_shapes(self, tmp_path):
+        with pytest.raises(ValidationError):
+            save_ppm(np.zeros((2, 2)), tmp_path / "x.ppm")
+        with pytest.raises(ValidationError):
+            save_pgm(np.zeros((2, 2, 3)), tmp_path / "x.pgm")
+
+
+class TestAsciiCharts:
+    def test_scatter_dimensions(self):
+        rng = np.random.default_rng(0)
+        out = ascii_scatter(rng.normal(size=(50, 2)), width=30, height=10)
+        lines = out.splitlines()
+        assert len(lines) == 12  # border + 10 rows + border
+        assert all(len(line) == 32 for line in lines)
+
+    def test_scatter_labels_use_distinct_glyphs(self):
+        X = np.array([[0.0, 0.0], [1.0, 1.0]])
+        out = ascii_scatter(X, labels=[0, 1], width=20, height=5)
+        assert "o" in out and "x" in out
+
+    def test_scatter_markers(self):
+        X = np.array([[0.0, 0.0], [1.0, 1.0]])
+        out = ascii_scatter(X, markers=np.array([[0.5, 0.5]]))
+        assert "M" in out
+
+    def test_scatter_rejects_non_2d(self):
+        with pytest.raises(ValidationError):
+            ascii_scatter(np.zeros((5, 3)))
+
+    def test_image_shading(self):
+        image = np.linspace(0, 1, 100).reshape(10, 10)
+        out = ascii_image(image, width=10)
+        assert " " in out and "@" in out
+
+    def test_bar_chart(self):
+        out = ascii_bar_chart(["a", "bb"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("#") > lines[0].count("#")
+
+    def test_bar_chart_validation(self):
+        with pytest.raises(ValidationError):
+            ascii_bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValidationError):
+            ascii_bar_chart([], [])
+
+    def test_line_chart_series_glyphs(self):
+        out = ascii_line_chart([1, 2, 3], {"alpha": [1, 2, 3], "beta": [3, 2, 1]})
+        assert "a" in out and "b" in out
+        assert "a=alpha" in out
+
+    def test_line_chart_logy(self):
+        out = ascii_line_chart([1, 2], {"s": [1.0, 1000.0]}, logy=True)
+        assert "s" in out
+        with pytest.raises(ValidationError):
+            ascii_line_chart([1, 2], {"s": [0.0, 1.0]}, logy=True)
+
+    def test_line_chart_requires_series(self):
+        with pytest.raises(ValidationError):
+            ascii_line_chart([1, 2], {})
