@@ -7,9 +7,13 @@
   of protocentroid sets;
 * :class:`NaiveKhatriRao` — the two-phase baseline of Section 5;
 * design-choice helpers from Section 8 (:mod:`repro.core.design`);
-* BIC-based model selection (:mod:`repro.core.model_selection`).
+* BIC-based model selection (:mod:`repro.core.model_selection`);
+* :func:`assign_factored` — the factored assignment kernel that exploits
+  Khatri-Rao structure to skip centroid materialization (Section 6,
+  "Complexity").
 """
 
+from ._factored import assign_factored, grouped_row_sum
 from .design import (
     balanced_factor_pair,
     balanced_factorization,
@@ -28,6 +32,8 @@ from .naive import NaiveKhatriRao, decompose_centroids
 __all__ = [
     "KMeans",
     "kmeans_plus_plus_init",
+    "assign_factored",
+    "grouped_row_sum",
     "KhatriRaoKMeans",
     "MiniBatchKhatriRaoKMeans",
     "NaiveKhatriRao",

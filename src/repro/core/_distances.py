@@ -4,32 +4,97 @@ The assignment step is the computational bottleneck of both k-Means and
 Khatri-Rao k-Means (paper Section 6, "Complexity"), so the kernels here are
 written to avoid Python-level loops and to support a chunked mode that keeps
 peak memory bounded for the memory-efficient KR implementation.
+
+Two assignment strategies share this module's chunked-argmin machinery:
+
+* **Materialized** (:func:`assign_to_nearest`): distances against an explicit
+  ``(k, m)`` centroid matrix via the expansion
+  ``‖x − c‖² = ‖x‖² − 2 x·c + ‖c‖²`` — ``O(n·k·m)`` per call.
+* **Factored** (:func:`repro.core.assign_factored`): for aggregators whose
+  centroids decompose over protocentroid sets (the sum aggregator), the cross
+  term becomes ``x·c = Σ_q x·θ_q[j_q]`` and ``‖c‖²`` is data-free, so
+  assignment costs ``O(n·m·Σh_q + n·k·p)`` and never materializes centroids.
+
+Complexity of one assignment over ``n`` points, ``m`` features and
+``k = ∏ h_q`` centroids from ``p`` sets:
+
+==============  ==========================  ==========================
+strategy        time                        extra memory
+==============  ==========================  ==========================
+materialized    ``O(n·k·m)``                ``O(k·m + n·c)`` (chunk c)
+factored        ``O(n·m·Σh_q + n·k·p)``     ``O(n·Σh_q + n·c)``
+==============  ==========================  ==========================
+
+Callers that assign repeatedly against the same data (Lloyd iterations) can
+hoist ``‖x‖²`` out of the loop by passing ``x_squared_norms`` (sklearn-style).
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["squared_distances", "assign_to_nearest"]
+__all__ = ["squared_distances", "assign_to_nearest", "row_norms_squared"]
 
 
-def squared_distances(X: np.ndarray, C: np.ndarray) -> np.ndarray:
+def row_norms_squared(X: np.ndarray) -> np.ndarray:
+    """Squared Euclidean norm of every row of ``X`` (shape ``(n,)``)."""
+    return np.einsum("ij,ij->i", X, X)
+
+
+def squared_distances(
+    X: np.ndarray, C: np.ndarray, *, x_squared_norms: Optional[np.ndarray] = None
+) -> np.ndarray:
     """Pairwise squared Euclidean distances between rows of ``X`` and ``C``.
 
     Uses the expansion ``||x - c||^2 = ||x||^2 - 2 x·c + ||c||^2`` and clips
     tiny negative values produced by floating-point cancellation.
+    ``x_squared_norms`` optionally supplies precomputed ``||x||^2`` so hot
+    loops pay for it once per dataset instead of once per call.
     """
-    x_sq = np.einsum("ij,ij->i", X, X)[:, None]
-    c_sq = np.einsum("ij,ij->i", C, C)[None, :]
-    distances = x_sq - 2.0 * (X @ C.T) + c_sq
+    if x_squared_norms is None:
+        x_squared_norms = row_norms_squared(X)
+    c_sq = row_norms_squared(C)[None, :]
+    distances = x_squared_norms[:, None] - 2.0 * (X @ C.T) + c_sq
     np.maximum(distances, 0.0, out=distances)
     return distances
 
 
+def _chunked_argmin(
+    n: int,
+    k: int,
+    chunk_size: int,
+    block_fn: Callable[[int, int], np.ndarray],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Running argmin over column blocks of an implicit ``(n, k)`` matrix.
+
+    ``block_fn(start, stop)`` must return the ``(n, stop - start)`` block of
+    scores for columns ``[start, stop)``.  Shared by every chunked assignment
+    path (materialized centroids, on-the-fly KR chunks, factored distances)
+    so the bookkeeping — running best, fancy-index row selector, offset
+    labels — lives in exactly one place.
+    """
+    labels = np.zeros(n, dtype=np.int64)
+    best = np.full(n, np.inf)
+    rows = np.arange(n)
+    for start in range(0, k, chunk_size):
+        stop = min(start + chunk_size, k)
+        block = block_fn(start, stop)
+        block_labels = np.argmin(block, axis=1)
+        block_best = block[rows, block_labels]
+        improved = block_best < best
+        labels[improved] = block_labels[improved] + start
+        best[improved] = block_best[improved]
+    return labels, best
+
+
 def assign_to_nearest(
-    X: np.ndarray, C: np.ndarray, *, chunk_size: int = 0
+    X: np.ndarray,
+    C: np.ndarray,
+    *,
+    chunk_size: int = 0,
+    x_squared_norms: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Assign each row of ``X`` to its nearest row of ``C``.
 
@@ -41,6 +106,9 @@ def assign_to_nearest(
         If positive, process centroids in chunks of this many rows so that at
         most ``n * chunk_size`` distances are materialized at a time.  This is
         the memory-efficient mode used when ``k`` is large.
+    x_squared_norms : array of shape (n,), optional
+        Precomputed ``||x||^2`` per row; pass it when assigning repeatedly
+        against the same data to hoist the norm computation out of the loop.
 
     Returns
     -------
@@ -50,19 +118,18 @@ def assign_to_nearest(
     """
     n = X.shape[0]
     k = C.shape[0]
+    if x_squared_norms is None:
+        x_squared_norms = row_norms_squared(X)
     if chunk_size <= 0 or chunk_size >= k:
-        distances = squared_distances(X, C)
+        distances = squared_distances(X, C, x_squared_norms=x_squared_norms)
         labels = np.argmin(distances, axis=1)
         return labels, distances[np.arange(n), labels]
 
-    labels = np.zeros(n, dtype=np.int64)
-    best = np.full(n, np.inf)
-    for start in range(0, k, chunk_size):
-        stop = min(start + chunk_size, k)
-        distances = squared_distances(X, C[start:stop])
-        chunk_labels = np.argmin(distances, axis=1)
-        chunk_best = distances[np.arange(n), chunk_labels]
-        improved = chunk_best < best
-        labels[improved] = chunk_labels[improved] + start
-        best[improved] = chunk_best[improved]
-    return labels, best
+    return _chunked_argmin(
+        n,
+        k,
+        chunk_size,
+        lambda start, stop: squared_distances(
+            X, C[start:stop], x_squared_norms=x_squared_norms
+        ),
+    )

@@ -15,6 +15,35 @@ Each iteration:
 
 Both the sum and product aggregators of the paper are supported, as well as
 random and k-means++-style initialization (Section 6, "Initialization").
+
+Factored assignment (the Khatri-Rao fast path)
+----------------------------------------------
+Step 2 dominates the complexity analysis of Section 6.  A direct
+implementation pays the full k-Means price — ``O(n·k·m)`` with
+``k = ∏ h_q`` — but for the sum aggregator the squared distance to centroid
+``c = Σ_q θ_q[j_q]`` decomposes as
+
+.. math::
+
+    ‖x − c‖² = ‖x‖² − 2 Σ_q x·θ_q[j_q] + ‖Σ_q θ_q[j_q]‖²
+
+so assignment needs only ``p`` Gram matrices ``G_q = X @ θ_qᵀ`` of shape
+``(n, h_q)`` and a data-free centroid-norm vector ``S`` — never the
+``(k, m)`` centroid matrix:
+
+==============  ==========================  =============================
+assignment      time per iteration          materializes centroids?
+==============  ==========================  =============================
+materialized    ``O(n·k·m)``                yes (whole or chunked)
+factored        ``O(n·m·Σh_q + n·k·p)``     never
+==============  ==========================  =============================
+
+The ``assignment`` knob selects the strategy; ``"auto"`` (default) uses the
+factored kernel whenever the aggregator advertises
+``supports_factored_assignment`` (sum: yes; product: no — it transparently
+falls back to the materialized path).  The same capability powers a
+closed-form centroid-shift test, so memory mode no longer re-materializes
+the centroid grid to check convergence either.
 """
 
 from __future__ import annotations
@@ -33,7 +62,18 @@ from .._validation import (
 )
 from ..exceptions import ConvergenceWarning, NotFittedError, ValidationError
 from ..linalg import get_aggregator, khatri_rao_combine, num_combinations
-from ._distances import assign_to_nearest, squared_distances
+from ._distances import (
+    _chunked_argmin,
+    assign_to_nearest,
+    row_norms_squared,
+    squared_distances,
+)
+from ._factored import (
+    ASSIGNMENT_MODES,
+    assign_factored,
+    grouped_row_sum,
+    resolve_assignment,
+)
 from .kmeans import _check_sample_weight, kmeans_plus_plus_init
 
 __all__ = ["KhatriRaoKMeans"]
@@ -71,8 +111,20 @@ class KhatriRaoKMeans:
         ``"memory"`` computes centroid chunks on the fly so peak memory grows
         with ``∑ h_q`` instead of ``∏ h_q`` (Appendix B).  ``"auto"`` picks
         ``"memory"`` when the centroid matrix would dominate the data matrix.
+    assignment : {"auto", "factored", "materialized"}
+        Strategy for the nearest-centroid step.  ``"factored"`` exploits the
+        Khatri-Rao structure: per-set Gram matrices ``G_q = X @ θ_qᵀ`` and a
+        data-free centroid-norm vector replace the ``O(n·k·m)`` distance
+        computation with ``O(n·m·Σh_q + n·k·p)``, never materializing
+        centroids (sum aggregator only; other aggregators fall back to
+        ``"materialized"`` transparently).  ``"materialized"`` forces the
+        classic full-price path.  ``"auto"`` (default) uses the factored
+        kernel whenever the aggregator supports it.  Both strategies produce
+        identical labels; in memory mode the factored kernel sweeps the
+        tuple grid in ``chunk_size`` blocks so it keeps the bounded-memory
+        guarantee too.
     chunk_size : int
-        Number of centroids materialized at a time in memory mode.
+        Number of centroids scored at a time in memory mode.
     random_state : None, int or Generator
         Source of randomness.
 
@@ -107,6 +159,7 @@ class KhatriRaoKMeans:
         max_iter: int = 200,
         tol: float = 1e-4,
         mode: str = "auto",
+        assignment: str = "auto",
         chunk_size: int = 256,
         random_state=None,
     ) -> None:
@@ -117,6 +170,7 @@ class KhatriRaoKMeans:
         self.max_iter = check_positive_int(max_iter, "max_iter")
         self.tol = float(tol)
         self.mode = check_in(mode, "mode", ("auto", "time", "memory"))
+        self.assignment = check_in(assignment, "assignment", ASSIGNMENT_MODES)
         self.chunk_size = check_positive_int(chunk_size, "chunk_size")
         self.random_state = random_state
 
@@ -125,6 +179,7 @@ class KhatriRaoKMeans:
         self.set_labels_: Optional[np.ndarray] = None
         self.inertia_: float = np.inf
         self.n_iter_: int = 0
+        self._previous_thetas: Optional[List[np.ndarray]] = None
 
     # ------------------------------------------------------------------ API
     @property
@@ -137,6 +192,17 @@ class KhatriRaoKMeans:
         """Number of stored vectors, ``∑ h_q``."""
         return int(sum(self.cardinalities))
 
+    @property
+    def uses_factored_assignment(self) -> bool:
+        """Whether assignment runs through the factored Khatri-Rao kernel.
+
+        Resolves the ``assignment`` knob against the aggregator's
+        capability: True for ``"auto"``/``"factored"`` with a decomposable
+        aggregator (sum), False when forced ``"materialized"`` or when the
+        aggregator (product) requires the materialized fallback.
+        """
+        return resolve_assignment(self.assignment, self.aggregator)
+
     def fit(self, X, sample_weight=None) -> "KhatriRaoKMeans":
         """Run ``n_init`` restarts of Algorithm 1 and keep the best solution.
 
@@ -148,11 +214,13 @@ class KhatriRaoKMeans:
         weights = _check_sample_weight(sample_weight, X.shape[0])
         rng = check_random_state(self.random_state)
         materialize = self._should_materialize(X)
+        # ‖x‖² is constant across iterations and restarts — pay for it once.
+        x_squared_norms = row_norms_squared(X)
 
         best = (np.inf, None, None, None, 0)
         for _ in range(self.n_init):
             thetas, labels, set_labels, run_inertia, iters = self._single_run(
-                X, rng, materialize, weights
+                X, rng, materialize, weights, x_squared_norms
             )
             if run_inertia < best[0]:
                 best = (run_inertia, thetas, labels, set_labels, iters)
@@ -259,30 +327,46 @@ class KhatriRaoKMeans:
 
     # -- assignment ---------------------------------------------------------
     def _assign(
-        self, X: np.ndarray, thetas: List[np.ndarray], materialize: bool
+        self,
+        X: np.ndarray,
+        thetas: List[np.ndarray],
+        materialize: bool,
+        x_squared_norms: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
+        if self.uses_factored_assignment:
+            # Memory mode sweeps the tuple grid in chunks; time mode scores
+            # the whole grid at once (the partial-score matrix is the only
+            # O(n·k) allocation either way — centroids are never built).
+            return assign_factored(
+                X,
+                thetas,
+                self.aggregator,
+                chunk_size=0 if materialize else self.chunk_size,
+                x_squared_norms=x_squared_norms,
+            )
         if materialize:
             centroids = khatri_rao_combine(thetas, self.aggregator)
-            return assign_to_nearest(X, centroids)
-        return self._assign_chunked(X, thetas)
+            return assign_to_nearest(X, centroids, x_squared_norms=x_squared_norms)
+        return self._assign_chunked(X, thetas, x_squared_norms)
 
     def _assign_chunked(
-        self, X: np.ndarray, thetas: List[np.ndarray]
+        self,
+        X: np.ndarray,
+        thetas: List[np.ndarray],
+        x_squared_norms: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
-        n = X.shape[0]
-        k = self.n_clusters
-        labels = np.zeros(n, dtype=np.int64)
-        best = np.full(n, np.inf)
-        for start in range(0, k, self.chunk_size):
-            stop = min(start + self.chunk_size, k)
-            chunk = self._materialize_chunk(thetas, start, stop)
-            distances = squared_distances(X, chunk)
-            chunk_labels = np.argmin(distances, axis=1)
-            chunk_best = distances[np.arange(n), chunk_labels]
-            improved = chunk_best < best
-            labels[improved] = chunk_labels[improved] + start
-            best[improved] = chunk_best[improved]
-        return labels, best
+        if x_squared_norms is None:
+            x_squared_norms = row_norms_squared(X)
+        return _chunked_argmin(
+            X.shape[0],
+            self.n_clusters,
+            self.chunk_size,
+            lambda start, stop: squared_distances(
+                X,
+                self._materialize_chunk(thetas, start, stop),
+                x_squared_norms=x_squared_norms,
+            ),
+        )
 
     def _materialize_chunk(
         self, thetas: List[np.ndarray], start: int, stop: int
@@ -327,20 +411,18 @@ class KhatriRaoKMeans:
         for q, h in enumerate(self.cardinalities):
             rest = self._rest_contribution(new_thetas, set_labels, q, m)
             assignments = set_labels[:, q]
-            numerator = np.zeros((h, m), dtype=float)
             if is_product:
                 # θ_q^j = Σ w·x ⊙ rest / Σ w·rest ⊙ rest over points with a_q = j
                 # (weighted Proposition 6.1).
-                denominator = np.zeros((h, m), dtype=float)
-                np.add.at(numerator, assignments, X * rest * w_column)
-                np.add.at(denominator, assignments, rest * rest * w_column)
+                numerator = grouped_row_sum(assignments, X * rest * w_column, h)
+                denominator = grouped_row_sum(assignments, rest * rest * w_column, h)
                 safe = denominator > _EPSILON
                 updated = new_thetas[q].copy()
                 updated[safe] = numerator[safe] / denominator[safe]
             else:
                 # θ_q^j = Σ w·(x − rest) / Σ w over points with a_q = j.
                 mass = np.bincount(assignments, weights=weights, minlength=h)
-                np.add.at(numerator, assignments, (X - rest) * w_column)
+                numerator = grouped_row_sum(assignments, (X - rest) * w_column, h)
                 updated = new_thetas[q].copy()
                 non_empty = mass > 0
                 updated[non_empty] = numerator[non_empty] / mass[non_empty, None]
@@ -358,23 +440,34 @@ class KhatriRaoKMeans:
         X: np.ndarray,
         rng: np.random.Generator,
         materialize: bool,
-        weights: Optional[np.ndarray] = None,
+        weights: np.ndarray,
+        x_squared_norms: np.ndarray,
     ):
-        if weights is None:
-            weights = np.ones(X.shape[0])
         thetas = self._init_protocentroids(X, rng)
-        self._previous_thetas = None  # reset memory-mode shift tracking per run
-        old_centroids = khatri_rao_combine(thetas, self.aggregator) if materialize else None
+        factored = self.uses_factored_assignment
+        # Shift tracking: the factored closed form and the chunked memory
+        # comparison diff protocentroids directly, so both seed the cached
+        # previous copies from the initial protocentroids; the materialized
+        # comparison seeds old_centroids instead.  All three therefore
+        # measure a real shift on iteration 1 and converge identically.
+        if not factored and materialize:
+            self._previous_thetas = None
+            old_centroids = khatri_rao_combine(thetas, self.aggregator)
+        else:
+            self._previous_thetas = [theta.copy() for theta in thetas]
+            old_centroids = None
         labels = np.zeros(X.shape[0], dtype=np.int64)
         min_distances = np.zeros(X.shape[0])
         iterations = 0
         for iterations in range(1, self.max_iter + 1):
-            labels, min_distances = self._assign(X, thetas, materialize)
+            labels, min_distances = self._assign(
+                X, thetas, materialize, x_squared_norms
+            )
             set_labels = self.set_assignments(labels)
             thetas = self._update_protocentroids(X, thetas, set_labels, rng, weights)
-            shift = self._centroid_shift(thetas, old_centroids, materialize)
-            if materialize:
-                old_centroids = khatri_rao_combine(thetas, self.aggregator)
+            shift, old_centroids = self._centroid_shift(
+                thetas, old_centroids, materialize
+            )
             if shift < self.tol:
                 break
         else:  # pragma: no cover - depends on data
@@ -383,25 +476,41 @@ class KhatriRaoKMeans:
                 ConvergenceWarning,
                 stacklevel=2,
             )
-        labels, min_distances = self._assign(X, thetas, materialize)
+        labels, min_distances = self._assign(X, thetas, materialize, x_squared_norms)
         set_labels = self.set_assignments(labels)
         weighted_inertia = float((min_distances * weights).sum())
         return thetas, labels, set_labels, weighted_inertia, iterations
+
+    def _store_previous_thetas(self, thetas: List[np.ndarray]) -> None:
+        # Reuse the cached buffers (np.copyto) instead of reallocating copies
+        # of every protocentroid array each iteration.
+        for previous, current in zip(self._previous_thetas, thetas):
+            np.copyto(previous, current)
 
     def _centroid_shift(
         self,
         thetas: List[np.ndarray],
         old_centroids: Optional[np.ndarray],
         materialize: bool,
-    ) -> float:
+    ) -> Tuple[float, Optional[np.ndarray]]:
+        """Total squared centroid movement (Algorithm 1, line 20).
+
+        Returns ``(shift, new_centroids)``; ``new_centroids`` is the freshly
+        materialized grid when the materialized comparison produced one (so
+        the caller can reuse it instead of combining again), else ``None``.
+        """
+        if self.uses_factored_assignment:
+            # Closed form for decomposable aggregators — O(m·Σh_q + p²·m),
+            # no centroid grid in either time or memory mode.
+            shift = self.aggregator.factored_shift(self._previous_thetas, thetas)
+            self._store_previous_thetas(thetas)
+            return shift, None
         if materialize and old_centroids is not None:
             new_centroids = khatri_rao_combine(thetas, self.aggregator)
-            return float(np.sum((new_centroids - old_centroids) ** 2))
+            return float(np.sum((new_centroids - old_centroids) ** 2)), new_centroids
         # Memory mode: measure movement chunk by chunk against the cached
-        # previous protocentroids to avoid materializing all centroids.
-        if not hasattr(self, "_previous_thetas") or self._previous_thetas is None:
-            self._previous_thetas = [theta.copy() for theta in thetas]
-            return np.inf
+        # previous protocentroids (seeded by _single_run) to avoid
+        # materializing all centroids.
         shift = 0.0
         k = self.n_clusters
         for start in range(0, k, self.chunk_size):
@@ -409,5 +518,5 @@ class KhatriRaoKMeans:
             new_chunk = self._materialize_chunk(thetas, start, stop)
             old_chunk = self._materialize_chunk(self._previous_thetas, start, stop)
             shift += float(np.sum((new_chunk - old_chunk) ** 2))
-        self._previous_thetas = [theta.copy() for theta in thetas]
-        return shift
+        self._store_previous_thetas(thetas)
+        return shift, None

@@ -11,6 +11,11 @@ batch of the data.
 The closed-form structure of Proposition 6.1 carries over: for a batch, the
 same numerators/denominators are computed, and the protocentroid moves a
 step toward the batch-optimal value instead of jumping to it.
+
+Assignment inside each step goes through the same dispatch as
+:class:`~repro.core.kr_kmeans.KhatriRaoKMeans`: for aggregators that support
+it (sum), the factored Gram-matrix kernel of :mod:`repro.core._factored`
+assigns the batch without materializing the ``∏ h_q`` centroids at all.
 """
 
 from __future__ import annotations
@@ -22,12 +27,19 @@ import numpy as np
 from .._validation import (
     check_array,
     check_cardinalities,
+    check_in,
     check_positive_int,
     check_random_state,
 )
 from ..exceptions import NotFittedError
 from ..linalg import get_aggregator, khatri_rao_combine, num_combinations
 from ._distances import assign_to_nearest
+from ._factored import (
+    ASSIGNMENT_MODES,
+    assign_factored,
+    grouped_row_sum,
+    resolve_assignment,
+)
 
 __all__ = ["MiniBatchKhatriRaoKMeans"]
 
@@ -48,6 +60,12 @@ class MiniBatchKhatriRaoKMeans:
         Total mini-batch steps in :meth:`fit`.
     reassignment_tol : float
         Convergence tolerance on the exponentially-averaged centroid shift.
+    assignment : {"auto", "factored", "materialized"}
+        Nearest-centroid strategy, as in :class:`KhatriRaoKMeans`:
+        ``"auto"`` (default) uses the factored Gram-matrix kernel whenever
+        the aggregator supports it, skipping centroid materialization in
+        every mini-batch step; unsupported aggregators fall back to the
+        materialized path transparently.
     random_state : None, int or Generator
 
     Attributes
@@ -76,6 +94,7 @@ class MiniBatchKhatriRaoKMeans:
         batch_size: int = 256,
         max_steps: int = 100,
         reassignment_tol: float = 1e-4,
+        assignment: str = "auto",
         random_state=None,
     ) -> None:
         self.cardinalities = check_cardinalities(cardinalities)
@@ -83,6 +102,7 @@ class MiniBatchKhatriRaoKMeans:
         self.batch_size = check_positive_int(batch_size, "batch_size")
         self.max_steps = check_positive_int(max_steps, "max_steps")
         self.reassignment_tol = float(reassignment_tol)
+        self.assignment = check_in(assignment, "assignment", ASSIGNMENT_MODES)
         self.random_state = random_state
 
         self.protocentroids_: Optional[List[np.ndarray]] = None
@@ -95,6 +115,11 @@ class MiniBatchKhatriRaoKMeans:
     def n_clusters(self) -> int:
         """Number of representable centroids, ``∏ h_q``."""
         return num_combinations(self.cardinalities)
+
+    @property
+    def uses_factored_assignment(self) -> bool:
+        """Whether assignment runs through the factored Khatri-Rao kernel."""
+        return resolve_assignment(self.assignment, self.aggregator)
 
     # ------------------------------------------------------------------ API
     def fit(self, X) -> "MiniBatchKhatriRaoKMeans":
@@ -113,8 +138,7 @@ class MiniBatchKhatriRaoKMeans:
             self.n_steps_ = step
             if smoothed_shift < self.reassignment_tol:
                 break
-        centroids = self.centroids()
-        self.labels_, distances = assign_to_nearest(X, centroids)
+        self.labels_, distances = self._assign(X)
         self.inertia_ = float(distances.sum())
         return self
 
@@ -135,7 +159,7 @@ class MiniBatchKhatriRaoKMeans:
                 "MiniBatchKhatriRaoKMeans is not fitted yet; call fit first"
             )
         X = check_array(X)
-        labels, _ = assign_to_nearest(X, self.centroids())
+        labels, _ = self._assign(X)
         return labels
 
     def centroids(self) -> np.ndarray:
@@ -155,6 +179,11 @@ class MiniBatchKhatriRaoKMeans:
         return int(sum(theta.size for theta in self.protocentroids_))
 
     # ------------------------------------------------------------ internals
+    def _assign(self, X: np.ndarray):
+        if self.uses_factored_assignment:
+            return assign_factored(X, self.protocentroids_, self.aggregator)
+        return assign_to_nearest(X, self.centroids())
+
     def _initialize(self, X: np.ndarray, rng: np.random.Generator) -> None:
         p = len(self.cardinalities)
         thetas = []
@@ -170,8 +199,7 @@ class MiniBatchKhatriRaoKMeans:
     def partial_fit_batch(self, batch: np.ndarray, rng: np.random.Generator) -> float:
         """One mini-batch step; returns the total squared protocentroid shift."""
         thetas = self.protocentroids_
-        centroids = khatri_rao_combine(thetas, self.aggregator)
-        labels, _ = assign_to_nearest(batch, centroids)
+        labels, _ = self._assign(batch)
         set_labels = np.stack(np.unravel_index(labels, self.cardinalities), axis=1)
         is_product = self.aggregator.name == "product"
         total_shift = 0.0
@@ -186,13 +214,11 @@ class MiniBatchKhatriRaoKMeans:
             else:
                 rest = self.aggregator.identity(batch.shape)
             assignments = set_labels[:, q]
-            numerator = np.zeros((h, batch.shape[1]))
             if is_product:
-                denominator = np.zeros((h, batch.shape[1]))
-                np.add.at(numerator, assignments, batch * rest)
-                np.add.at(denominator, assignments, rest * rest)
+                numerator = grouped_row_sum(assignments, batch * rest, h)
+                denominator = grouped_row_sum(assignments, rest * rest, h)
             else:
-                np.add.at(numerator, assignments, batch - rest)
+                numerator = grouped_row_sum(assignments, batch - rest, h)
             batch_counts = np.bincount(assignments, minlength=h).astype(float)
             for j in np.flatnonzero(batch_counts > 0):
                 if is_product:

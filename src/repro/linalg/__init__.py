@@ -5,6 +5,10 @@ This subpackage implements the two operator families the paper builds on:
 * **Khatri-Rao operators** (Section 3): given ``p`` sets of vectors, produce
   every elementwise ``sum`` or ``product`` combination with one vector from
   each set — the mechanism by which protocentroids generate centroids.
+  Aggregators additionally expose a *factored-assignment capability*
+  (``supports_factored_assignment`` plus the ``cross_gram`` /
+  ``self_interaction`` / ``factored_shift`` hooks) that lets the clustering
+  layer compute distances to all combinations without materializing them.
 * **Hadamard decomposition** (Section 4.2, Eq. 6): reparameterize a weight
   matrix as the Hadamard product of low-rank factors, the mechanism by which
   autoencoder parameters are compressed in Khatri-Rao deep clustering.

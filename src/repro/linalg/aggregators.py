@@ -16,6 +16,33 @@ small strategy object exposing:
 
 Aggregators are selected by name (``"sum"``/``"+"`` or ``"product"``/``"*"``)
 through :func:`get_aggregator`.
+
+Factored-assignment capability protocol
+---------------------------------------
+The assignment step is the bottleneck of Khatri-Rao k-Means (paper
+Section 6, "Complexity").  For the **sum** aggregator the squared distance
+to a centroid decomposes over the protocentroid sets, so assignment never
+has to materialize centroids (see :mod:`repro.core._factored`).  An
+aggregator advertises this through the capability flag
+``supports_factored_assignment`` and, when it opts in, provides the three
+hooks the factored kernel needs:
+
+* ``cross_gram(X, thetas)`` — the per-set Gram matrices ``G_q = X @ θ_qᵀ``
+  of shape ``(n, h_q)`` carrying the data-centroid cross terms;
+* ``self_interaction(thetas)`` — the flat ``(∏ h_q,)`` vector of centroid
+  squared norms ``S[j_1..j_p] = ‖⊕_q θ_q[j_q]‖²`` computed *without*
+  touching the data or materializing centroids;
+* ``self_interaction_blocks(thetas)`` — a closure evaluating the same
+  quantity for arbitrary tuple-index blocks, precomputing only
+  ``O(Σh_q + Σ_{q<r} h_q·h_r)`` tables so the chunked (memory) mode never
+  allocates anything of size ``∏ h_q``;
+* ``factored_shift(old_thetas, new_thetas)`` — the total squared centroid
+  movement ``Σ_grid ‖c_new − c_old‖²`` in closed form.
+
+The **product** aggregator does not decompose this way (``x·∏_q θ_q`` is
+not a sum of per-set terms), so it keeps the default
+``supports_factored_assignment = False`` and estimators transparently fall
+back to the materialized assignment path.
 """
 
 from __future__ import annotations
@@ -37,6 +64,9 @@ class Aggregator(ABC):
     name: str = ""
     #: one-character symbol used in reports, e.g. ``"+"``
     symbol: str = ""
+    #: whether squared distances to aggregated centroids decompose over the
+    #: protocentroid sets, enabling :func:`repro.core.assign_factored`
+    supports_factored_assignment: bool = False
 
     @abstractmethod
     def combine(self, parts: Sequence[np.ndarray]) -> np.ndarray:
@@ -54,6 +84,42 @@ class Aggregator(ABC):
         """Aggregate exactly two arrays (broadcasting allowed)."""
         return self.combine([a, b])
 
+    # -- factored-assignment hooks (capability protocol) --------------------
+    def cross_gram(self, X: np.ndarray, thetas: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Per-set Gram matrices carrying the data-centroid cross terms.
+
+        Only meaningful when ``supports_factored_assignment`` is True.
+        """
+        raise ValidationError(
+            f"aggregator {self.name!r} does not support factored assignment"
+        )
+
+    def self_interaction(self, thetas: Sequence[np.ndarray]) -> np.ndarray:
+        """Flat ``(∏ h_q,)`` vector of centroid squared norms, data-free."""
+        raise ValidationError(
+            f"aggregator {self.name!r} does not support factored assignment"
+        )
+
+    def self_interaction_blocks(self, thetas: Sequence[np.ndarray]):
+        """Return ``f(tuple_indices) -> (b,)`` evaluating centroid squared
+        norms for arbitrary tuple-index blocks.
+
+        Must agree with :meth:`self_interaction` but may never allocate
+        anything of size ``∏ h_q`` — chunked assignment relies on it to keep
+        peak memory bounded by the chunk, not the grid.
+        """
+        raise ValidationError(
+            f"aggregator {self.name!r} does not support factored assignment"
+        )
+
+    def factored_shift(
+        self, old_thetas: Sequence[np.ndarray], new_thetas: Sequence[np.ndarray]
+    ) -> float:
+        """Total squared centroid movement in closed form, data-free."""
+        raise ValidationError(
+            f"aggregator {self.name!r} does not support factored assignment"
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"{type(self).__name__}()"
 
@@ -63,6 +129,7 @@ class SumAggregator(Aggregator):
 
     name = "sum"
     symbol = "+"
+    supports_factored_assignment = True
 
     def combine(self, parts: Sequence[np.ndarray]) -> np.ndarray:
         if not parts:
@@ -82,6 +149,78 @@ class SumAggregator(Aggregator):
         # Equal shares: each part is v / p, summing back to v exactly.
         share = vector / float(num_parts)
         return [share.copy() for _ in range(num_parts)]
+
+    # -- factored-assignment hooks ------------------------------------------
+    # For ⊕ = + the centroid of tuple (j_1, ..., j_p) is Σ_q θ_q[j_q], so
+    #   x · c          = Σ_q (X @ θ_qᵀ)[i, j_q]                (cross_gram)
+    #   ‖c‖²           = Σ_q ‖θ_q[j_q]‖² + 2 Σ_{q<r} θ_q[j_q]·θ_r[j_r]
+    #                                                     (self_interaction)
+    # which needs only p Gram matrices of shape (n, h_q) and p(p−1)/2 small
+    # (h_q, h_r) inner-product tables — never the (∏ h_q, m) centroid matrix.
+
+    def cross_gram(self, X: np.ndarray, thetas: Sequence[np.ndarray]) -> List[np.ndarray]:
+        return [X @ np.asarray(theta, dtype=float).T for theta in thetas]
+
+    def self_interaction(self, thetas: Sequence[np.ndarray]) -> np.ndarray:
+        mats = [np.asarray(theta, dtype=float) for theta in thetas]
+        cardinalities = tuple(mat.shape[0] for mat in mats)
+        p = len(mats)
+        S = np.zeros(cardinalities)
+        for q, mat in enumerate(mats):
+            shape = [1] * p
+            shape[q] = cardinalities[q]
+            S += np.einsum("ij,ij->i", mat, mat).reshape(shape)
+        for q in range(p):
+            for r in range(q + 1, p):
+                shape = [1] * p
+                shape[q] = cardinalities[q]
+                shape[r] = cardinalities[r]
+                S += 2.0 * (mats[q] @ mats[r].T).reshape(shape)
+        return S.ravel()
+
+    def self_interaction_blocks(self, thetas: Sequence[np.ndarray]):
+        # Same expansion as self_interaction, but evaluated per index block
+        # from O(Σh_q) norm vectors and O(Σ_{q<r} h_q·h_r) pairwise tables —
+        # nothing of size ∏ h_q is ever allocated.
+        mats = [np.asarray(theta, dtype=float) for theta in thetas]
+        norms = [np.einsum("ij,ij->i", mat, mat) for mat in mats]
+        pairs = [
+            (q, r, mats[q] @ mats[r].T)
+            for q in range(len(mats))
+            for r in range(q + 1, len(mats))
+        ]
+
+        def block(tuple_indices: Sequence[np.ndarray]) -> np.ndarray:
+            S = norms[0][tuple_indices[0]].astype(float, copy=True)
+            for q in range(1, len(norms)):
+                S += norms[q][tuple_indices[q]]
+            for q, r, table in pairs:
+                S += 2.0 * table[tuple_indices[q], tuple_indices[r]]
+            return S
+
+        return block
+
+    def factored_shift(
+        self, old_thetas: Sequence[np.ndarray], new_thetas: Sequence[np.ndarray]
+    ) -> float:
+        # Σ_grid ‖Σ_q δ_q[j_q]‖² with δ_q = θ_q^new − θ_q^old expands into
+        # per-set norm sums and pairwise sums of column totals; every grid
+        # index not involved contributes a multiplicity factor k / ∏ h.
+        deltas = [
+            np.asarray(new, dtype=float) - np.asarray(old, dtype=float)
+            for old, new in zip(old_thetas, new_thetas)
+        ]
+        cardinalities = [delta.shape[0] for delta in deltas]
+        k = int(np.prod(cardinalities))
+        totals = [delta.sum(axis=0) for delta in deltas]
+        shift = 0.0
+        for q, delta in enumerate(deltas):
+            shift += (k / cardinalities[q]) * float(np.einsum("ij,ij->", delta, delta))
+        for q in range(len(deltas)):
+            for r in range(q + 1, len(deltas)):
+                multiplicity = k / (cardinalities[q] * cardinalities[r])
+                shift += 2.0 * multiplicity * float(totals[q] @ totals[r])
+        return shift
 
 
 class ProductAggregator(Aggregator):

@@ -1,0 +1,258 @@
+"""Equivalence tests for the factored assignment subsystem.
+
+The factored kernel (:mod:`repro.core._factored`) must be a drop-in
+replacement for materializing all ``∏ h_q`` centroids: identical labels and
+squared distances (within float tolerance) across aggregators, numbers of
+sets, uneven cardinalities, sample weights, and the chunked memory mode.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import KhatriRaoKMeans
+from repro.core import MiniBatchKhatriRaoKMeans, assign_factored, grouped_row_sum
+from repro.core._distances import assign_to_nearest, row_norms_squared
+from repro.exceptions import ValidationError
+from repro.linalg import ProductAggregator, SumAggregator, khatri_rao_combine
+
+CARDINALITY_SETS = [(4,), (3, 5), (2, 3, 4), (5, 2), (2, 2, 2)]
+
+
+def _random_problem(seed, cardinalities, n=40, m=6):
+    rng = np.random.default_rng(seed)
+    thetas = [rng.normal(size=(h, m)) for h in cardinalities]
+    X = rng.normal(size=(n, m))
+    return X, thetas
+
+
+class TestKernelEquivalence:
+    @given(
+        seed=st.integers(0, 1000),
+        cards_index=st.integers(0, len(CARDINALITY_SETS) - 1),
+        chunk_size=st.integers(0, 30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_materialized(self, seed, cards_index, chunk_size):
+        cardinalities = CARDINALITY_SETS[cards_index]
+        X, thetas = _random_problem(seed, cardinalities)
+        centroids = khatri_rao_combine(thetas, "sum")
+        ref_labels, ref_distances = assign_to_nearest(X, centroids)
+        labels, distances = assign_factored(
+            X, thetas, "sum", chunk_size=chunk_size
+        )
+        np.testing.assert_array_equal(labels, ref_labels)
+        np.testing.assert_allclose(distances, ref_distances, atol=1e-9)
+
+    @pytest.mark.parametrize("cardinalities", CARDINALITY_SETS)
+    def test_precomputed_norms_match(self, cardinalities):
+        X, thetas = _random_problem(7, cardinalities)
+        labels, distances = assign_factored(X, thetas, "sum")
+        labels_pre, distances_pre = assign_factored(
+            X, thetas, "sum", x_squared_norms=row_norms_squared(X)
+        )
+        np.testing.assert_array_equal(labels, labels_pre)
+        np.testing.assert_allclose(distances, distances_pre, atol=1e-12)
+
+    def test_fewer_points_than_protocentroids(self):
+        # n < Σ h_q must still work: 5 points against 4+4 protocentroids.
+        X, thetas = _random_problem(11, (4, 4), n=5)
+        centroids = khatri_rao_combine(thetas, "sum")
+        ref_labels, ref_distances = assign_to_nearest(X, centroids)
+        for chunk_size in (0, 3):
+            labels, distances = assign_factored(
+                X, thetas, "sum", chunk_size=chunk_size
+            )
+            np.testing.assert_array_equal(labels, ref_labels)
+            np.testing.assert_allclose(distances, ref_distances, atol=1e-9)
+
+    def test_product_aggregator_rejected(self):
+        X, thetas = _random_problem(3, (3, 3))
+        with pytest.raises(ValidationError):
+            assign_factored(X, thetas, "product")
+
+
+class TestAggregatorHooks:
+    @pytest.mark.parametrize("cardinalities", CARDINALITY_SETS)
+    def test_self_interaction_is_centroid_norms(self, cardinalities):
+        _, thetas = _random_problem(5, cardinalities)
+        agg = SumAggregator()
+        centroids = khatri_rao_combine(thetas, agg)
+        expected = np.einsum("ij,ij->i", centroids, centroids)
+        np.testing.assert_allclose(agg.self_interaction(thetas), expected, atol=1e-9)
+
+    @pytest.mark.parametrize("cardinalities", CARDINALITY_SETS)
+    def test_self_interaction_blocks_match_full_grid(self, cardinalities):
+        _, thetas = _random_problem(6, cardinalities)
+        agg = SumAggregator()
+        expected = agg.self_interaction(thetas)
+        block = agg.self_interaction_blocks(thetas)
+        k = int(np.prod(cardinalities))
+        for start, stop in [(0, k), (0, 1), (1, min(4, k)), (k - 2, k)]:
+            indices = np.unravel_index(np.arange(start, stop), cardinalities)
+            np.testing.assert_allclose(
+                block(indices), expected[start:stop], atol=1e-9
+            )
+
+    def test_chunked_assignment_never_builds_full_grid(self):
+        # The chunked sweep must get self-interactions from the block
+        # closure, not from the O(∏ h_q) flat vector — that allocation is
+        # exactly what memory mode exists to avoid.
+        X, thetas = _random_problem(13, (3, 4))
+
+        class NoFullGrid(SumAggregator):
+            def self_interaction(self, thetas):
+                raise AssertionError(
+                    "chunked assignment materialized the full grid"
+                )
+
+        labels, distances = assign_factored(X, thetas, NoFullGrid(), chunk_size=5)
+        ref_labels, ref_distances = assign_to_nearest(
+            X, khatri_rao_combine(thetas, "sum")
+        )
+        np.testing.assert_array_equal(labels, ref_labels)
+        np.testing.assert_allclose(distances, ref_distances, atol=1e-9)
+
+    @pytest.mark.parametrize("cardinalities", CARDINALITY_SETS)
+    def test_factored_shift_matches_materialized(self, cardinalities):
+        _, old = _random_problem(8, cardinalities)
+        _, new = _random_problem(9, cardinalities)
+        agg = SumAggregator()
+        expected = float(
+            np.sum(
+                (khatri_rao_combine(new, agg) - khatri_rao_combine(old, agg)) ** 2
+            )
+        )
+        assert agg.factored_shift(old, new) == pytest.approx(expected, rel=1e-9)
+
+    def test_capability_flags(self):
+        assert SumAggregator().supports_factored_assignment
+        assert not ProductAggregator().supports_factored_assignment
+        with pytest.raises(ValidationError):
+            ProductAggregator().cross_gram(np.zeros((2, 2)), [np.zeros((2, 2))])
+
+
+class TestGroupedRowSum:
+    @given(seed=st.integers(0, 500), num_groups=st.integers(1, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_scatter_add(self, seed, num_groups):
+        rng = np.random.default_rng(seed)
+        assignments = rng.integers(0, num_groups, size=50)
+        values = rng.normal(size=(50, 4))
+        expected = np.zeros((num_groups, 4))
+        np.add.at(expected, assignments, values)
+        np.testing.assert_allclose(
+            grouped_row_sum(assignments, values, num_groups), expected, atol=1e-12
+        )
+
+
+class TestEstimatorEquivalence:
+    @pytest.mark.parametrize("aggregator", ["sum", "product"])
+    @pytest.mark.parametrize("mode", ["time", "memory"])
+    @pytest.mark.parametrize("cardinalities", [(4,), (3, 3), (2, 2, 2)])
+    def test_fit_matches_materialized(self, aggregator, mode, cardinalities):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(60, 4))
+        kwargs = dict(
+            aggregator=aggregator, mode=mode, n_init=2, max_iter=25, random_state=0
+        )
+        ref = KhatriRaoKMeans(
+            cardinalities, assignment="materialized", **kwargs
+        ).fit(X)
+        fac = KhatriRaoKMeans(cardinalities, assignment="factored", **kwargs).fit(X)
+        np.testing.assert_array_equal(ref.labels_, fac.labels_)
+        np.testing.assert_array_equal(ref.set_labels_, fac.set_labels_)
+        assert fac.inertia_ == pytest.approx(ref.inertia_, abs=1e-9, rel=1e-9)
+
+    def test_first_iteration_shift_consistent_across_modes(self):
+        # Regression: the materialized memory path used to return an infinite
+        # shift on iteration 1 (no cached previous protocentroids yet) while
+        # the factored path measured a real one, so a loose tol made the two
+        # strategies stop at different iterations with different labels.
+        X = np.random.default_rng(0).normal(size=(60, 4))
+        runs = {
+            (assignment, mode): KhatriRaoKMeans(
+                (3, 3), mode=mode, assignment=assignment,
+                n_init=1, tol=20.0, random_state=0,
+            ).fit(X)
+            for assignment in ("materialized", "factored")
+            for mode in ("time", "memory")
+        }
+        reference = runs[("materialized", "time")]
+        for model in runs.values():
+            assert model.n_iter_ == reference.n_iter_
+            np.testing.assert_array_equal(model.labels_, reference.labels_)
+
+    def test_fit_with_sample_weights(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(50, 3))
+        weights = rng.uniform(0.1, 3.0, size=50)
+        kwargs = dict(n_init=2, max_iter=25, random_state=1)
+        ref = KhatriRaoKMeans((3, 3), assignment="materialized", **kwargs).fit(
+            X, sample_weight=weights
+        )
+        fac = KhatriRaoKMeans((3, 3), assignment="factored", **kwargs).fit(
+            X, sample_weight=weights
+        )
+        np.testing.assert_array_equal(ref.labels_, fac.labels_)
+        assert fac.inertia_ == pytest.approx(ref.inertia_, abs=1e-9, rel=1e-9)
+
+    def test_auto_defaults_to_factored_for_sum(self):
+        model = KhatriRaoKMeans((2, 2))
+        assert model.assignment == "auto"
+        assert model.uses_factored_assignment
+        assert not KhatriRaoKMeans(
+            (2, 2), aggregator="product"
+        ).uses_factored_assignment
+        assert MiniBatchKhatriRaoKMeans((2, 2)).uses_factored_assignment
+        assert not MiniBatchKhatriRaoKMeans(
+            (2, 2), assignment="materialized"
+        ).uses_factored_assignment
+
+    def test_predict_matches_materialized(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(80, 3))
+        X_new = rng.normal(size=(30, 3))
+        ref = KhatriRaoKMeans(
+            (3, 3), assignment="materialized", n_init=2, random_state=0
+        ).fit(X)
+        fac = KhatriRaoKMeans(
+            (3, 3), assignment="factored", n_init=2, random_state=0
+        ).fit(X)
+        np.testing.assert_array_equal(ref.predict(X_new), fac.predict(X_new))
+
+    def test_invalid_assignment_rejected(self):
+        with pytest.raises(ValidationError):
+            KhatriRaoKMeans((2, 2), assignment="bogus")
+        with pytest.raises(ValidationError):
+            MiniBatchKhatriRaoKMeans((2, 2), assignment="bogus")
+
+    def test_factored_falls_back_for_product(self):
+        # Explicit "factored" with the product aggregator must transparently
+        # use the materialized path, not crash.
+        rng = np.random.default_rng(5)
+        X = np.abs(rng.normal(size=(40, 3))) + 0.5
+        ref = KhatriRaoKMeans(
+            (2, 2), aggregator="product", assignment="materialized",
+            n_init=2, random_state=0,
+        ).fit(X)
+        fac = KhatriRaoKMeans(
+            (2, 2), aggregator="product", assignment="factored",
+            n_init=2, random_state=0,
+        ).fit(X)
+        np.testing.assert_array_equal(ref.labels_, fac.labels_)
+
+    @pytest.mark.parametrize("aggregator", ["sum", "product"])
+    def test_minibatch_matches_materialized(self, aggregator):
+        rng = np.random.default_rng(6)
+        X = rng.normal(size=(200, 3))
+        kwargs = dict(
+            aggregator=aggregator, batch_size=32, max_steps=15, random_state=0
+        )
+        ref = MiniBatchKhatriRaoKMeans(
+            (3, 3), assignment="materialized", **kwargs
+        ).fit(X)
+        fac = MiniBatchKhatriRaoKMeans((3, 3), assignment="factored", **kwargs).fit(X)
+        np.testing.assert_array_equal(ref.labels_, fac.labels_)
+        assert fac.inertia_ == pytest.approx(ref.inertia_, abs=1e-9, rel=1e-9)
