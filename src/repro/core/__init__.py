@@ -10,9 +10,13 @@
 * BIC-based model selection (:mod:`repro.core.model_selection`);
 * :func:`assign_factored` — the factored assignment kernel that exploits
   Khatri-Rao structure to skip centroid materialization (Section 6,
-  "Complexity").
+  "Complexity");
+* Hamerly bound pruning (:mod:`repro.core._bounds`) — cross-iteration
+  distance bounds that restrict each Lloyd pass to the points whose labels
+  could actually change (the estimators' ``pruning`` knob).
 """
 
+from ._bounds import PRUNING_MODES, HamerlyBounds, StreamingBounds
 from ._factored import assign_factored, grouped_row_sum
 from .design import (
     balanced_factor_pair,
@@ -34,6 +38,9 @@ __all__ = [
     "kmeans_plus_plus_init",
     "assign_factored",
     "grouped_row_sum",
+    "PRUNING_MODES",
+    "HamerlyBounds",
+    "StreamingBounds",
     "KhatriRaoKMeans",
     "MiniBatchKhatriRaoKMeans",
     "NaiveKhatriRao",

@@ -16,14 +16,23 @@ Two assignment strategies share this module's chunked-argmin machinery:
   assignment costs ``O(n·m·Σh_q + n·k·p)`` and never materializes centroids.
 
 Complexity of one assignment over ``n`` points, ``m`` features and
-``k = ∏ h_q`` centroids from ``p`` sets:
+``k = ∏ h_q`` centroids from ``p`` sets.  The *pruned iteration* column is
+the cost once cross-iteration Hamerly bounds (:mod:`repro.core._bounds`)
+restrict the scan to the ``a ≤ n`` active points whose bounds overlap —
+late Lloyd iterations typically have ``a ≪ n``:
 
-==============  ==========================  ==========================
-strategy        time                        extra memory
-==============  ==========================  ==========================
-materialized    ``O(n·k·m)``                ``O(k·m + n·c)`` (chunk c)
-factored        ``O(n·m·Σh_q + n·k·p)``     ``O(n·Σh_q + n·c)``
-==============  ==========================  ==========================
+==============  ==========================  =========================  ==========================
+strategy        time (full)                 time (pruned iteration)    extra memory
+==============  ==========================  =========================  ==========================
+materialized    ``O(n·k·m)``                ``O(a·k·m + n)``           ``O(k·m + n·c)`` (chunk c)
+factored        ``O(n·m·Σh_q + n·k·p)``     ``O(a·m·Σh_q + a·k·p + n)``  ``O(n·Σh_q + n·c)``
+==============  ==========================  =========================  ==========================
+
+Both strategies can return the *top-2* distances per point
+(``return_second=True``) at no extra asymptotic cost — the argmin entries
+of each scored block are masked in place and a row minimum re-taken, so
+block score matrices are treated as scratch on that path — which is what
+seeds the Hamerly bounds.
 
 Callers that assign repeatedly against the same data (Lloyd iterations) can
 hoist ``‖x‖²`` out of the loop by passing ``x_squared_norms`` (sklearn-style).
@@ -35,12 +44,27 @@ from typing import Callable, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["squared_distances", "assign_to_nearest", "row_norms_squared"]
+__all__ = [
+    "squared_distances",
+    "assign_to_nearest",
+    "paired_squared_distances",
+    "row_norms_squared",
+]
 
 
 def row_norms_squared(X: np.ndarray) -> np.ndarray:
     """Squared Euclidean norm of every row of ``X`` (shape ``(n,)``)."""
     return np.einsum("ij,ij->i", X, X)
+
+
+def paired_squared_distances(X: np.ndarray, C: np.ndarray) -> np.ndarray:
+    """``‖X[i] − C[i]‖²`` row by row (shape ``(n,)``).
+
+    The tightening step of Hamerly pruning needs each point's exact distance
+    to *its own* assigned centroid only — ``O(n·m)``, no ``(n, k)`` matrix.
+    """
+    delta = X - C
+    return np.einsum("ij,ij->i", delta, delta)
 
 
 def squared_distances(
@@ -61,31 +85,73 @@ def squared_distances(
     return distances
 
 
+def _row_min(block: np.ndarray, block_labels: np.ndarray) -> np.ndarray:
+    """Per-row minimum of ``block`` given its argmin columns.
+
+    ``np.take_along_axis`` gathers without the ``(n,)`` arange index vector
+    the fancy-index form ``block[rows, block_labels]`` would reallocate on
+    every call.
+    """
+    return np.take_along_axis(block, block_labels[:, None], axis=1)[:, 0]
+
+
+def _row_second_min(block: np.ndarray, block_labels: np.ndarray) -> np.ndarray:
+    """Per-row second-smallest value of ``block`` (``inf`` for single-column
+    blocks), given the per-row argmin columns.
+
+    DESTRUCTIVE: overwrites the argmin entries of ``block`` with ``+inf``
+    and takes a row minimum — ~5× faster than ``np.partition`` and safe
+    because every caller hands in a scratch score matrix it owns.  Exact
+    ties are preserved: only the argmin *position* is masked, so a tied
+    second copy of the minimum still reports the tied value.
+    """
+    if block.shape[1] < 2:
+        return np.full(block.shape[0], np.inf)
+    np.put_along_axis(block, block_labels[:, None], np.inf, axis=1)
+    return block.min(axis=1)
+
+
 def _chunked_argmin(
     n: int,
     k: int,
     chunk_size: int,
     block_fn: Callable[[int, int], np.ndarray],
-) -> Tuple[np.ndarray, np.ndarray]:
+    *,
+    return_second: bool = False,
+) -> Tuple[np.ndarray, ...]:
     """Running argmin over column blocks of an implicit ``(n, k)`` matrix.
 
     ``block_fn(start, stop)`` must return the ``(n, stop - start)`` block of
     scores for columns ``[start, stop)``.  Shared by every chunked assignment
     path (materialized centroids, on-the-fly KR chunks, factored distances)
-    so the bookkeeping — running best, fancy-index row selector, offset
-    labels — lives in exactly one place.
+    so the bookkeeping — running best, row gather, offset labels — lives in
+    exactly one place.
+
+    With ``return_second=True`` a third array carries the running
+    second-smallest score per row (the seed of the Hamerly lower bound),
+    merged across blocks as the second order statistic of
+    ``{best, second, block_best, block_second}``; ``block_fn`` outputs are
+    treated as scratch and clobbered by the second-min extraction.
     """
     labels = np.zeros(n, dtype=np.int64)
     best = np.full(n, np.inf)
-    rows = np.arange(n)
+    second = np.full(n, np.inf) if return_second else None
     for start in range(0, k, chunk_size):
         stop = min(start + chunk_size, k)
         block = block_fn(start, stop)
         block_labels = np.argmin(block, axis=1)
-        block_best = block[rows, block_labels]
+        block_best = _row_min(block, block_labels)
+        if return_second:
+            # Second-smallest of the union {best, second, b1, b2} with
+            # best ≤ second and b1 ≤ b2: min(second, b2, max(best, b1)).
+            # Must merge against the *old* best, before it is updated.
+            np.minimum(second, _row_second_min(block, block_labels), out=second)
+            np.minimum(second, np.maximum(best, block_best), out=second)
         improved = block_best < best
         labels[improved] = block_labels[improved] + start
         best[improved] = block_best[improved]
+    if return_second:
+        return labels, best, second
     return labels, best
 
 
@@ -95,7 +161,8 @@ def assign_to_nearest(
     *,
     chunk_size: int = 0,
     x_squared_norms: Optional[np.ndarray] = None,
-) -> Tuple[np.ndarray, np.ndarray]:
+    return_second: bool = False,
+) -> Tuple[np.ndarray, ...]:
     """Assign each row of ``X`` to its nearest row of ``C``.
 
     Parameters
@@ -109,12 +176,16 @@ def assign_to_nearest(
     x_squared_norms : array of shape (n,), optional
         Precomputed ``||x||^2`` per row; pass it when assigning repeatedly
         against the same data to hoist the norm computation out of the loop.
+    return_second : bool
+        Also return the squared distance to the *second*-nearest centroid
+        (``inf`` when ``k == 1``) — the seed of Hamerly-style pruning bounds.
 
     Returns
     -------
     labels : int array of shape (n,)
     min_distances : float array of shape (n,)
         Squared distance of each point to its assigned centroid.
+    second_distances : float array of shape (n,), only if ``return_second``
     """
     n = X.shape[0]
     k = C.shape[0]
@@ -123,7 +194,10 @@ def assign_to_nearest(
     if chunk_size <= 0 or chunk_size >= k:
         distances = squared_distances(X, C, x_squared_norms=x_squared_norms)
         labels = np.argmin(distances, axis=1)
-        return labels, distances[np.arange(n), labels]
+        best = _row_min(distances, labels)
+        if return_second:
+            return labels, best, _row_second_min(distances, labels)
+        return labels, best
 
     return _chunked_argmin(
         n,
@@ -132,4 +206,5 @@ def assign_to_nearest(
         lambda start, stop: squared_distances(
             X, C[start:stop], x_squared_norms=x_squared_norms
         ),
+        return_second=return_second,
     )

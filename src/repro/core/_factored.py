@@ -39,7 +39,12 @@ import numpy as np
 
 from ..exceptions import ValidationError
 from ..linalg import get_aggregator
-from ._distances import _chunked_argmin, row_norms_squared
+from ._distances import (
+    _chunked_argmin,
+    _row_min,
+    _row_second_min,
+    row_norms_squared,
+)
 
 __all__ = ["assign_factored", "grouped_row_sum", "resolve_assignment"]
 
@@ -70,7 +75,8 @@ def assign_factored(
     *,
     chunk_size: int = 0,
     x_squared_norms: Optional[np.ndarray] = None,
-) -> Tuple[np.ndarray, np.ndarray]:
+    return_second: bool = False,
+) -> Tuple[np.ndarray, ...]:
     """Assign rows of ``X`` to their nearest Khatri-Rao centroid, factored.
 
     Produces exactly the labels and squared distances of materializing all
@@ -92,11 +98,16 @@ def assign_factored(
         time — the memory-efficient mode gets the factored speedup too.
     x_squared_norms : array of shape (n,), optional
         Precomputed ``‖x‖²`` per row (hoisted out of Lloyd iterations).
+    return_second : bool
+        Also return the squared distance to the second-nearest centroid
+        (``inf`` when ``∏ h_q == 1``), seeding Hamerly pruning bounds at no
+        extra asymptotic cost.
 
     Returns
     -------
     labels : int array of shape (n,)
     min_distances : float array of shape (n,)
+    second_distances : float array of shape (n,), only if ``return_second``
     """
     agg = get_aggregator(aggregator)
     if not agg.supports_factored_assignment:
@@ -113,26 +124,38 @@ def assign_factored(
 
     grams = agg.cross_gram(X, thetas)  # p matrices of shape (n, h_q)
 
+    second = None
     if chunk_size <= 0 or chunk_size >= k:
         self_terms = agg.self_interaction(thetas)  # flat (k,)
         partial = _full_partial_scores(grams, self_terms, cardinalities)
         labels = np.argmin(partial, axis=1)
-        best = partial[np.arange(n), labels]
+        best = _row_min(partial, labels)
+        if return_second:
+            second = _row_second_min(partial, labels)
     else:
         # The chunked sweep evaluates self-interactions per block from small
         # per-set tables, so nothing of size k is ever allocated and the
         # memory mode's bounded-peak guarantee carries over.
         self_term_block = agg.self_interaction_blocks(thetas)
-        labels, best = _chunked_argmin(
+        result = _chunked_argmin(
             n,
             k,
             chunk_size,
             lambda start, stop: _partial_score_block(
                 grams, self_term_block, cardinalities, start, stop
             ),
+            return_second=return_second,
         )
+        if return_second:
+            labels, best, second = result
+        else:
+            labels, best = result
     min_distances = x_squared_norms + best
     np.maximum(min_distances, 0.0, out=min_distances)
+    if return_second:
+        second_distances = x_squared_norms + second
+        np.maximum(second_distances, 0.0, out=second_distances)
+        return labels, min_distances, second_distances
     return labels, min_distances
 
 

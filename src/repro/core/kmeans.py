@@ -16,7 +16,14 @@ import numpy as np
 
 from .._validation import check_array, check_in, check_positive_int, check_random_state
 from ..exceptions import ConvergenceWarning, NotFittedError, ValidationError
-from ._distances import assign_to_nearest, squared_distances
+from ._bounds import HamerlyBounds, check_pruning, dense_drift, hamerly_step
+from ._distances import (
+    assign_to_nearest,
+    paired_squared_distances,
+    row_norms_squared,
+    squared_distances,
+)
+from ._factored import grouped_row_sum
 
 __all__ = ["KMeans", "kmeans_plus_plus_init"]
 
@@ -87,6 +94,15 @@ class KMeans:
     tol : float
         Stop when total squared centroid movement falls below ``tol``
         (paper: 1e-4).
+    pruning : {"auto", "bounds", "none"}
+        Cross-iteration Hamerly pruning (:mod:`repro.core._bounds`): keep a
+        per-point upper bound on the distance to the assigned centroid and a
+        lower bound on the second-nearest, inflate them by the centroid
+        drift each iteration, and re-score only the points whose bounds
+        overlap — late iterations cost ``O(|active|·k·m)`` instead of
+        ``O(n·k·m)``.  Produces labels, inertia and iteration counts
+        identical to the unpruned path; ``"auto"`` (default) enables it,
+        ``"none"`` forces the classic full re-assignment.
     random_state : None, int or Generator
         Source of randomness.
 
@@ -116,6 +132,7 @@ class KMeans:
         n_init: int = 10,
         max_iter: int = 200,
         tol: float = 1e-4,
+        pruning: str = "auto",
         random_state=None,
     ) -> None:
         self.n_clusters = check_positive_int(n_clusters, "n_clusters")
@@ -123,6 +140,7 @@ class KMeans:
         self.n_init = check_positive_int(n_init, "n_init")
         self.max_iter = check_positive_int(max_iter, "max_iter")
         self.tol = float(tol)
+        self.pruning = check_pruning(pruning)
         self.random_state = random_state
 
         self.cluster_centers_: Optional[np.ndarray] = None
@@ -141,14 +159,18 @@ class KMeans:
         X = check_array(X, min_samples=self.n_clusters)
         weights = _check_sample_weight(sample_weight, X.shape[0])
         rng = check_random_state(self.random_state)
+        # ‖x‖² is constant across iterations and restarts — pay for it once.
+        x_squared_norms = row_norms_squared(X)
 
         best_inertia = np.inf
         best_centers = None
         best_labels = None
         best_iterations = 0
+        # ... and so is the weighted data matrix feeding the centroid sums.
+        weighted_X = X * weights[:, None]
         for _ in range(self.n_init):
             centers, labels, run_inertia, iterations = self._single_run(
-                X, rng, weights
+                X, rng, weights, weighted_X, x_squared_norms
             )
             if run_inertia < best_inertia:
                 best_inertia = run_inertia
@@ -207,27 +229,90 @@ class KMeans:
         indices = rng.choice(X.shape[0], size=self.n_clusters, replace=False)
         return X[indices].copy()
 
+    @property
+    def uses_pruning(self) -> bool:
+        """Whether Lloyd iterations run with Hamerly bounds pruning."""
+        return self.pruning != "none"
+
+    def _assign_step(
+        self,
+        X: np.ndarray,
+        centers: np.ndarray,
+        labels: np.ndarray,
+        bounds: Optional[HamerlyBounds],
+        x_squared_norms: np.ndarray,
+    ):
+        """One assignment pass; returns ``(labels, min_distances_or_None)``.
+
+        ``min_distances`` is ``None`` on pruned iterations — the caller
+        recomputes it on demand (only the empty-cluster reseed needs it).
+        """
+        if bounds is None:
+            return assign_to_nearest(X, centers, x_squared_norms=x_squared_norms)
+
+        def exact_squared(idx):
+            return paired_squared_distances(X[idx], centers[labels[idx]])
+
+        def rescore(idx):
+            if idx is None:
+                return assign_to_nearest(
+                    X, centers, x_squared_norms=x_squared_norms,
+                    return_second=True,
+                )
+            return assign_to_nearest(
+                X[idx], centers, x_squared_norms=x_squared_norms[idx],
+                return_second=True,
+            )
+
+        labels, _, full_d1 = hamerly_step(bounds, labels, exact_squared, rescore)
+        return labels, full_d1
+
     def _single_run(
-        self, X: np.ndarray, rng: np.random.Generator, weights: np.ndarray
+        self,
+        X: np.ndarray,
+        rng: np.random.Generator,
+        weights: np.ndarray,
+        weighted_X: np.ndarray,
+        x_squared_norms: np.ndarray,
     ):
         centers = self._init_centers(X, rng)
+        bounds = (
+            HamerlyBounds(x_squared_norms, X.shape[1])
+            if self.uses_pruning else None
+        )
         labels = np.zeros(X.shape[0], dtype=np.int64)
         iterations = 0
         for iterations in range(1, self.max_iter + 1):
-            labels, min_distances = assign_to_nearest(X, centers)
+            labels, min_distances = self._assign_step(
+                X, centers, labels, bounds, x_squared_norms
+            )
             new_centers = centers.copy()
             counts = np.bincount(labels, weights=weights, minlength=self.n_clusters)
-            sums = np.zeros_like(centers)
-            np.add.at(sums, labels, X * weights[:, None])
+            # Per-column bincount reduction (grouped_row_sum) over the
+            # fit-hoisted weighted matrix: same row-order accumulation as
+            # the np.add.at scatter it replaces, an order of magnitude
+            # faster — and with pruning this update is the iteration floor.
+            sums = grouped_row_sum(labels, weighted_X, self.n_clusters)
             non_empty = counts > 0
             new_centers[non_empty] = sums[non_empty] / counts[non_empty, None]
             # Empty clusters: re-seed on the points farthest from their centroid,
             # the standard remedy (also used by KR-k-Means, Appendix B).
             empty = np.flatnonzero(~non_empty)
             if empty.size:
+                if min_distances is None:
+                    # Pruned iterations skip exact per-point distances; the
+                    # reseed rule ranks all of them, so fall back to the full
+                    # computation the unpruned path runs — same call, same
+                    # inputs, bit-identical reseed choice.
+                    _, min_distances = assign_to_nearest(
+                        X, centers, x_squared_norms=x_squared_norms
+                    )
                 farthest = np.argsort(min_distances * weights)[::-1][: empty.size]
                 new_centers[empty] = X[farthest]
             shift = float(np.sum((new_centers - centers) ** 2))
+            if bounds is not None and shift >= self.tol:
+                drift = dense_drift(centers, new_centers)
+                bounds.inflate(drift[labels], float(drift.max()))
             centers = new_centers
             if shift < self.tol:
                 break
@@ -237,5 +322,7 @@ class KMeans:
                 ConvergenceWarning,
                 stacklevel=2,
             )
-        labels, min_distances = assign_to_nearest(X, centers)
+        labels, min_distances = assign_to_nearest(
+            X, centers, x_squared_norms=x_squared_norms
+        )
         return centers, labels, float((min_distances * weights).sum()), iterations

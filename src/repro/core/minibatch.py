@@ -16,11 +16,19 @@ Assignment inside each step goes through the same dispatch as
 :class:`~repro.core.kr_kmeans.KhatriRaoKMeans`: for aggregators that support
 it (sum), the factored Gram-matrix kernel of :mod:`repro.core._factored`
 assigns the batch without materializing the ``∏ h_q`` centroids at all.
+
+On top of that, :meth:`fit` supports cross-step Hamerly pruning (the
+``pruning`` knob, :class:`repro.core._bounds.StreamingBounds`): every
+point's distance bounds are anchored against cumulative per-protocentroid
+drift tables at its last exact assignment, so when a point is re-sampled
+after the learning rates have decayed, the telescoped triangle inequality
+usually certifies its cached label and the batch re-scores only the stale
+points — identical labels and updates to the unpruned schedule.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,7 +41,8 @@ from .._validation import (
 )
 from ..exceptions import NotFittedError
 from ..linalg import get_aggregator, khatri_rao_combine, num_combinations
-from ._distances import assign_to_nearest
+from ._bounds import StreamingBounds, check_pruning
+from ._distances import assign_to_nearest, row_norms_squared
 from ._factored import (
     ASSIGNMENT_MODES,
     assign_factored,
@@ -66,6 +75,15 @@ class MiniBatchKhatriRaoKMeans:
         the aggregator supports it, skipping centroid materialization in
         every mini-batch step; unsupported aggregators fall back to the
         materialized path transparently.
+    pruning : {"auto", "bounds", "none"}
+        Cross-step Hamerly pruning inside :meth:`fit` (which samples its own
+        batch indices and can therefore track per-point state).  Bounds are
+        anchored against cumulative drift tables so re-sampled points whose
+        cached label is provably still nearest skip the argmin entirely —
+        exactly the labels and updates of the unpruned schedule.  Requires a
+        decomposable aggregator (sum); others fall back to unpruned
+        transparently, as does :meth:`partial_fit`, which receives anonymous
+        batches.
     random_state : None, int or Generator
 
     Attributes
@@ -74,6 +92,10 @@ class MiniBatchKhatriRaoKMeans:
     labels_ : labels of the full training data after the final step.
     inertia_ : float
     n_steps_ : int
+    reassignment_fractions_ : list of float or None
+        Fraction of each fitted batch that was fully re-scored (1.0 until
+        points start being re-sampled, then decaying as learning rates
+        shrink); ``None`` when pruning is disabled.
 
     Examples
     --------
@@ -95,6 +117,7 @@ class MiniBatchKhatriRaoKMeans:
         max_steps: int = 100,
         reassignment_tol: float = 1e-4,
         assignment: str = "auto",
+        pruning: str = "auto",
         random_state=None,
     ) -> None:
         self.cardinalities = check_cardinalities(cardinalities)
@@ -103,12 +126,14 @@ class MiniBatchKhatriRaoKMeans:
         self.max_steps = check_positive_int(max_steps, "max_steps")
         self.reassignment_tol = float(reassignment_tol)
         self.assignment = check_in(assignment, "assignment", ASSIGNMENT_MODES)
+        self.pruning = check_pruning(pruning)
         self.random_state = random_state
 
         self.protocentroids_: Optional[List[np.ndarray]] = None
         self.labels_: Optional[np.ndarray] = None
         self.inertia_: float = np.inf
         self.n_steps_: int = 0
+        self.reassignment_fractions_: Optional[List[float]] = None
         self._counts: Optional[List[np.ndarray]] = None
 
     @property
@@ -121,17 +146,42 @@ class MiniBatchKhatriRaoKMeans:
         """Whether assignment runs through the factored Khatri-Rao kernel."""
         return resolve_assignment(self.assignment, self.aggregator)
 
+    @property
+    def uses_pruning(self) -> bool:
+        """Whether :meth:`fit` tracks cross-step Hamerly bounds.
+
+        Streaming bounds telescope drift through the aggregator's per-set
+        ``factored_drift`` tables, so they require a decomposable aggregator
+        (whatever the ``assignment`` knob says — re-scoring respects it);
+        other aggregators fall back to the unpruned schedule transparently.
+        """
+        return self.pruning != "none" and self.aggregator.supports_factored_assignment
+
     # ------------------------------------------------------------------ API
     def fit(self, X) -> "MiniBatchKhatriRaoKMeans":
         """Run ``max_steps`` mini-batch steps over ``X``."""
         X = check_array(X, min_samples=max(self.cardinalities))
         rng = check_random_state(self.random_state)
         self._initialize(X, rng)
+        state = (
+            StreamingBounds(row_norms_squared(X), X.shape[1], self.cardinalities)
+            if self.uses_pruning else None
+        )
+        self.reassignment_fractions_ = [] if state is not None else None
         smoothed_shift = np.inf
         for step in range(1, self.max_steps + 1):
-            batch = X[rng.choice(X.shape[0], size=min(self.batch_size, X.shape[0]),
-                                 replace=False)]
-            shift = self.partial_fit_batch(batch, rng)
+            indices = rng.choice(
+                X.shape[0], size=min(self.batch_size, X.shape[0]), replace=False
+            )
+            batch = X[indices]
+            if state is None:
+                shift = self.partial_fit_batch(batch, rng)
+            else:
+                labels = self._pruned_batch_labels(batch, indices, state)
+                shift, drift_tables = self._apply_batch_update(
+                    batch, labels, collect_drift=True
+                )
+                state.advance(drift_tables)
             smoothed_shift = shift if not np.isfinite(smoothed_shift) else (
                 0.7 * smoothed_shift + 0.3 * shift
             )
@@ -179,10 +229,15 @@ class MiniBatchKhatriRaoKMeans:
         return int(sum(theta.size for theta in self.protocentroids_))
 
     # ------------------------------------------------------------ internals
-    def _assign(self, X: np.ndarray):
+    def _assign(self, X: np.ndarray, return_second: bool = False):
         if self.uses_factored_assignment:
-            return assign_factored(X, self.protocentroids_, self.aggregator)
-        return assign_to_nearest(X, self.centroids())
+            return assign_factored(
+                X, self.protocentroids_, self.aggregator,
+                return_second=return_second,
+            )
+        return assign_to_nearest(
+            X, self.centroids(), return_second=return_second
+        )
 
     def _initialize(self, X: np.ndarray, rng: np.random.Generator) -> None:
         p = len(self.cardinalities)
@@ -198,11 +253,50 @@ class MiniBatchKhatriRaoKMeans:
 
     def partial_fit_batch(self, batch: np.ndarray, rng: np.random.Generator) -> float:
         """One mini-batch step; returns the total squared protocentroid shift."""
-        thetas = self.protocentroids_
         labels, _ = self._assign(batch)
+        shift, _ = self._apply_batch_update(batch, labels)
+        return shift
+
+    def _pruned_batch_labels(
+        self, batch: np.ndarray, indices: np.ndarray, state: StreamingBounds
+    ) -> np.ndarray:
+        """Batch labels with cross-step pruning.
+
+        Sampled points whose telescoped bounds certify the cached label keep
+        it; never-seen or stale points run the exact factored top-2 argmin
+        and re-anchor their bounds.  Identical labels to assigning the whole
+        batch from scratch.
+        """
+        settled = state.settled(indices)
+        labels = np.empty(indices.size, dtype=np.int64)
+        labels[settled] = state.labels[indices[settled]]
+        stale = ~settled
+        if stale.any():
+            sub = indices[stale]
+            new_labels, d1, d2 = self._assign(batch[stale], return_second=True)
+            labels[stale] = new_labels
+            state.record(sub, new_labels, d1, d2)
+        self.reassignment_fractions_.append(
+            float(np.count_nonzero(stale)) / indices.size
+        )
+        return labels
+
+    def _apply_batch_update(
+        self, batch: np.ndarray, labels: np.ndarray, collect_drift: bool = False
+    ) -> Tuple[float, Optional[List[np.ndarray]]]:
+        """Apply the mini-batch protocentroid updates for fixed ``labels``.
+
+        Returns the total squared protocentroid shift and, with
+        ``collect_drift``, per-set tables of each protocentroid's movement
+        norm this step — the increments :class:`StreamingBounds` accumulates.
+        """
+        thetas = self.protocentroids_
         set_labels = np.stack(np.unravel_index(labels, self.cardinalities), axis=1)
         is_product = self.aggregator.name == "product"
         total_shift = 0.0
+        drift_tables = (
+            [np.zeros(h) for h in self.cardinalities] if collect_drift else None
+        )
         for q, h in enumerate(self.cardinalities):
             rest_parts = [
                 thetas[l][set_labels[:, l]]
@@ -232,6 +326,9 @@ class MiniBatchKhatriRaoKMeans:
                 self._counts[q][j] += batch_counts[j]
                 eta = batch_counts[j] / self._counts[q][j]
                 updated = (1.0 - eta) * thetas[q][j] + eta * target
-                total_shift += float(np.sum((updated - thetas[q][j]) ** 2))
+                step_shift = float(np.sum((updated - thetas[q][j]) ** 2))
+                total_shift += step_shift
+                if collect_drift:
+                    drift_tables[q][j] = np.sqrt(step_shift)
                 thetas[q][j] = updated
-        return total_shift
+        return total_shift, drift_tables

@@ -7,8 +7,10 @@ This subpackage implements the two operator families the paper builds on:
   each set — the mechanism by which protocentroids generate centroids.
   Aggregators additionally expose a *factored-assignment capability*
   (``supports_factored_assignment`` plus the ``cross_gram`` /
-  ``self_interaction`` / ``factored_shift`` hooks) that lets the clustering
-  layer compute distances to all combinations without materializing them.
+  ``self_interaction`` / ``factored_shift`` / ``factored_drift`` hooks)
+  that lets the clustering layer compute distances to all combinations —
+  and bound every combination's movement between iterations — without
+  materializing them.
 * **Hadamard decomposition** (Section 4.2, Eq. 6): reparameterize a weight
   matrix as the Hadamard product of low-rank factors, the mechanism by which
   autoencoder parameters are compressed in Khatri-Rao deep clustering.

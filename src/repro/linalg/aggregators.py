@@ -37,7 +37,13 @@ hooks the factored kernel needs:
   ``O(Σh_q + Σ_{q<r} h_q·h_r)`` tables so the chunked (memory) mode never
   allocates anything of size ``∏ h_q``;
 * ``factored_shift(old_thetas, new_thetas)`` — the total squared centroid
-  movement ``Σ_grid ‖c_new − c_old‖²`` in closed form.
+  movement ``Σ_grid ‖c_new − c_old‖²`` in closed form;
+* ``factored_drift(old_thetas, new_thetas)`` — per-set drift norm tables
+  ``d_q[j] = ‖θ_q^new[j] − θ_q^old[j]‖`` such that every centroid's
+  movement obeys ``‖Δc(j_1..j_p)‖ ≤ Σ_q d_q[j_q]`` (triangle inequality on
+  ``Δc = Σ_q Δθ_q[j_q]``), powering Hamerly bound inflation
+  (:mod:`repro.core._bounds`) for all ``∏ h_q`` centroids from ``Σ h_q``
+  numbers — no grid materialization.
 
 The **product** aggregator does not decompose this way (``x·∏_q θ_q`` is
 not a sum of per-set terms), so it keeps the default
@@ -116,6 +122,18 @@ class Aggregator(ABC):
         self, old_thetas: Sequence[np.ndarray], new_thetas: Sequence[np.ndarray]
     ) -> float:
         """Total squared centroid movement in closed form, data-free."""
+        raise ValidationError(
+            f"aggregator {self.name!r} does not support factored assignment"
+        )
+
+    def factored_drift(
+        self, old_thetas: Sequence[np.ndarray], new_thetas: Sequence[np.ndarray]
+    ) -> List[np.ndarray]:
+        """Per-set drift tables bounding every centroid's movement.
+
+        Returns one ``(h_q,)`` vector per set with
+        ``‖Δc(j_1..j_p)‖ ≤ Σ_q table_q[j_q]`` for every tuple index.
+        """
         raise ValidationError(
             f"aggregator {self.name!r} does not support factored assignment"
         )
@@ -221,6 +239,18 @@ class SumAggregator(Aggregator):
                 multiplicity = k / (cardinalities[q] * cardinalities[r])
                 shift += 2.0 * multiplicity * float(totals[q] @ totals[r])
         return shift
+
+    def factored_drift(
+        self, old_thetas: Sequence[np.ndarray], new_thetas: Sequence[np.ndarray]
+    ) -> List[np.ndarray]:
+        # Δc(j_1..j_p) = Σ_q Δθ_q[j_q] for ⊕ = +, so the per-set norm tables
+        # ‖Δθ_q[j]‖ bound every centroid's movement via the triangle
+        # inequality — Σ h_q numbers covering all ∏ h_q centroids.
+        tables = []
+        for old, new in zip(old_thetas, new_thetas):
+            delta = np.asarray(new, dtype=float) - np.asarray(old, dtype=float)
+            tables.append(np.sqrt(np.einsum("ij,ij->i", delta, delta)))
+        return tables
 
 
 class ProductAggregator(Aggregator):

@@ -31,6 +31,7 @@ import numpy as np
 
 from ._validation import check_array
 from .core._distances import assign_to_nearest
+from .core._factored import assign_factored
 from .exceptions import ValidationError
 from .linalg import get_aggregator, khatri_rao_combine
 
@@ -103,6 +104,19 @@ class DataSummary:
         """Reconstruct the full centroid matrix."""
         return khatri_rao_combine(self.protocentroids, self.aggregator_name)
 
+    def _nearest(self, X: np.ndarray):
+        """Labels and squared distances to the nearest centroid.
+
+        Routes through the factored Khatri-Rao kernel when the aggregator
+        decomposes (sum), so out-of-sample assignment never materializes the
+        ``(∏ h_q, m)`` centroid grid; other aggregators fall back to the
+        materialized path.
+        """
+        aggregator = get_aggregator(self.aggregator_name)
+        if aggregator.supports_factored_assignment:
+            return assign_factored(X, self.protocentroids, aggregator)
+        return assign_to_nearest(X, self.centroids())
+
     def assign(self, X) -> np.ndarray:
         """Assign each row of ``X`` to its nearest reconstructed centroid."""
         X = check_array(X)
@@ -110,13 +124,13 @@ class DataSummary:
             raise ValidationError(
                 f"X has {X.shape[1]} features, summary has {self.n_features}"
             )
-        labels, _ = assign_to_nearest(X, self.centroids())
+        labels, _ = self._nearest(X)
         return labels
 
     def inertia(self, X) -> float:
         """Squared reconstruction error of ``X`` under this summary."""
         X = check_array(X)
-        _, distances = assign_to_nearest(X, self.centroids())
+        _, distances = self._nearest(X)
         return float(distances.sum())
 
     def report(self) -> str:

@@ -1,0 +1,386 @@
+"""Exact-equivalence tests for Hamerly bounds pruning (``core/_bounds``).
+
+The contract of the pruning subsystem is absolute: a pruned run must
+produce *bit-identical* labels, inertia and iteration counts to the
+unpruned run for every ``mode × assignment × aggregator × sample_weight``
+combination — the bounds may only ever skip work whose outcome is already
+certain.  These tests enforce that with strict ``==`` comparisons (no
+tolerances) across the grid, under hypothesis-randomized problems, through
+empty-cluster reseeds, and for the top-2 kernels that seed the bounds.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import KhatriRaoKMeans, KMeans, MiniBatchKhatriRaoKMeans
+from repro.core._bounds import (
+    HamerlyBounds,
+    StreamingBounds,
+    dense_drift,
+    drift_inflation_from_tables,
+)
+from repro.core._distances import _chunked_argmin, assign_to_nearest
+from repro.core._factored import assign_factored
+from repro.datasets import make_blobs
+from repro.exceptions import ValidationError
+from repro.linalg import SumAggregator, khatri_rao_combine
+
+
+def _problem(seed, n=120, m=4, positive=False):
+    rng = np.random.default_rng(seed)
+    X, _ = make_blobs(n, n_clusters=9, n_features=m, random_state=seed)
+    if positive:
+        X = np.abs(X) + 0.5
+    weights = rng.uniform(0.1, 3.0, size=n)
+    return X, weights
+
+
+def _identical(reference, pruned):
+    np.testing.assert_array_equal(reference.labels_, pruned.labels_)
+    assert reference.inertia_ == pruned.inertia_
+    assert reference.n_iter_ == pruned.n_iter_
+
+
+class TestTopTwoKernels:
+    """``return_second`` must report the exact second-smallest distance."""
+
+    @given(
+        seed=st.integers(0, 500),
+        chunk_size=st.integers(0, 40),
+        k=st.integers(1, 30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_assign_to_nearest_second(self, seed, chunk_size, k):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(25, 3))
+        C = rng.normal(size=(k, 3))
+        labels, best, second = assign_to_nearest(
+            X, C, chunk_size=chunk_size, return_second=True
+        )
+        ref_labels, ref_best = assign_to_nearest(X, C, chunk_size=chunk_size)
+        np.testing.assert_array_equal(labels, ref_labels)
+        np.testing.assert_array_equal(best, ref_best)
+        if k == 1:
+            assert np.all(np.isinf(second))
+        else:
+            full = np.sort(
+                np.sum((X[:, None, :] - C[None, :, :]) ** 2, axis=2), axis=1
+            )
+            np.testing.assert_allclose(second, full[:, 1], atol=1e-9)
+            assert np.all(second >= best)
+
+    @given(seed=st.integers(0, 300), chunk_size=st.integers(0, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_assign_factored_second(self, seed, chunk_size):
+        rng = np.random.default_rng(seed)
+        thetas = [rng.normal(size=(h, 3)) for h in (3, 4)]
+        X = rng.normal(size=(20, 3))
+        labels, best, second = assign_factored(
+            X, thetas, "sum", chunk_size=chunk_size, return_second=True
+        )
+        centroids = khatri_rao_combine(thetas, "sum")
+        ref_labels, _, ref_second = assign_to_nearest(
+            X, centroids, return_second=True
+        )
+        np.testing.assert_array_equal(labels, ref_labels)
+        np.testing.assert_allclose(second, ref_second, atol=1e-9)
+
+    def test_chunked_argmin_second_merge(self):
+        # Width-1 blocks stress the cross-block merge: every block second is
+        # inf, so the running second must come purely from merged bests.
+        rng = np.random.default_rng(7)
+        scores = rng.normal(size=(10, 9))
+        labels, best, second = _chunked_argmin(
+            10, 9, 1, lambda s, e: scores[:, s:e], return_second=True
+        )
+        ranked = np.sort(scores, axis=1)
+        np.testing.assert_array_equal(labels, np.argmin(scores, axis=1))
+        np.testing.assert_allclose(best, ranked[:, 0])
+        np.testing.assert_allclose(second, ranked[:, 1])
+
+
+class TestDriftBounds:
+    def test_factored_drift_bounds_every_centroid(self):
+        rng = np.random.default_rng(3)
+        old = [rng.normal(size=(h, 5)) for h in (3, 2, 4)]
+        new = [theta + rng.normal(size=theta.shape) for theta in old]
+        agg = SumAggregator()
+        tables = agg.factored_drift(old, new)
+        exact = dense_drift(
+            khatri_rao_combine(old, agg), khatri_rao_combine(new, agg)
+        )
+        grid = np.stack(
+            np.meshgrid(*[np.arange(h) for h in (3, 2, 4)], indexing="ij"), axis=-1
+        ).reshape(-1, 3)
+        bound, max_drift = drift_inflation_from_tables(tables, grid)
+        assert np.all(bound >= exact - 1e-12)
+        assert max_drift >= exact.max() - 1e-12
+
+    def test_product_aggregator_has_no_factored_drift(self):
+        from repro.linalg import ProductAggregator
+
+        with pytest.raises(ValidationError):
+            ProductAggregator().factored_drift([np.zeros((2, 2))], [np.zeros((2, 2))])
+
+
+class TestKhatriRaoEquivalence:
+    @pytest.mark.parametrize("aggregator", ["sum", "product"])
+    @pytest.mark.parametrize("mode", ["time", "memory"])
+    @pytest.mark.parametrize("assignment", ["factored", "materialized"])
+    @pytest.mark.parametrize("weighted", [False, True])
+    def test_grid(self, aggregator, mode, assignment, weighted):
+        X, weights = _problem(11, positive=aggregator == "product")
+        kwargs = dict(
+            aggregator=aggregator, mode=mode, assignment=assignment,
+            n_init=2, max_iter=40, random_state=5,
+        )
+        sample_weight = weights if weighted else None
+        ref = KhatriRaoKMeans((3, 3), pruning="none", **kwargs).fit(
+            X, sample_weight=sample_weight
+        )
+        pruned = KhatriRaoKMeans((3, 3), pruning="bounds", **kwargs).fit(
+            X, sample_weight=sample_weight
+        )
+        _identical(ref, pruned)
+        np.testing.assert_array_equal(ref.set_labels_, pruned.set_labels_)
+        for theta_ref, theta_pruned in zip(
+            ref.protocentroids_, pruned.protocentroids_
+        ):
+            np.testing.assert_array_equal(theta_ref, theta_pruned)
+        assert ref.reassignment_fractions_ is None
+        assert pruned.reassignment_fractions_ is not None
+        assert pruned.reassignment_fractions_[0] == 1.0
+
+    @given(seed=st.integers(0, 400))
+    @settings(max_examples=25, deadline=None)
+    def test_randomized_problems(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(70, 3))
+        kwargs = dict(n_init=1, max_iter=30, random_state=seed)
+        ref = KhatriRaoKMeans((2, 3), pruning="none", **kwargs).fit(X)
+        pruned = KhatriRaoKMeans((2, 3), pruning="bounds", **kwargs).fit(X)
+        _identical(ref, pruned)
+
+    def test_empty_cluster_reseed_under_pruning(self):
+        # Two distinct points against a (2, 2) grid: at least two of the
+        # four representable centroids are always empty, so the reseed path
+        # (rng draws per empty protocentroid) runs every iteration and must
+        # consume the identical rng stream in both runs.
+        X = np.repeat([[0.0, 0.0], [10.0, 10.0]], 20, axis=0)
+        kwargs = dict(n_init=2, max_iter=15, random_state=2)
+        ref = KhatriRaoKMeans((2, 2), pruning="none", **kwargs).fit(X)
+        pruned = KhatriRaoKMeans((2, 2), pruning="bounds", **kwargs).fit(X)
+        _identical(ref, pruned)
+
+    def test_auto_resolution(self):
+        model = KhatriRaoKMeans((2, 2))
+        assert model.pruning == "auto"
+        assert model._uses_pruning(materialize=True)
+        assert model._uses_pruning(materialize=False)
+        # Keyed on aggregator capability, not the assignment knob: a sum
+        # aggregator forced onto the materialized path still has Σh_q drift
+        # tables, so memory mode keeps pruning.
+        assert KhatriRaoKMeans(
+            (2, 2), assignment="materialized"
+        )._uses_pruning(materialize=False)
+        product = KhatriRaoKMeans((2, 2), aggregator="product")
+        assert product._uses_pruning(materialize=True)
+        # memory mode + non-decomposable aggregator would need a dense (k,)
+        # drift vector, breaking the bounded-memory guarantee — auto opts out.
+        assert not product._uses_pruning(materialize=False)
+        assert KhatriRaoKMeans(
+            (2, 2), aggregator="product", pruning="bounds"
+        )._uses_pruning(materialize=False)
+        assert not KhatriRaoKMeans((2, 2), pruning="none")._uses_pruning(True)
+
+    def test_invalid_pruning_rejected(self):
+        for factory in (
+            lambda: KhatriRaoKMeans((2, 2), pruning="bogus"),
+            lambda: KMeans(2, pruning="bogus"),
+            lambda: MiniBatchKhatriRaoKMeans((2, 2), pruning="bogus"),
+        ):
+            with pytest.raises(ValidationError):
+                factory()
+
+    def test_late_iterations_actually_prune(self):
+        X, _ = make_blobs(400, n_clusters=9, n_features=4, random_state=0)
+        model = KhatriRaoKMeans(
+            (3, 3), n_init=1, max_iter=60, tol=0.0, random_state=0
+        ).fit(X)
+        fractions = model.reassignment_fractions_
+        assert len(fractions) == model.n_iter_
+        tail = fractions[len(fractions) // 3:]
+        assert min(tail) < 0.1  # late iterations re-score almost nobody
+
+
+class TestKMeansEquivalence:
+    @pytest.mark.parametrize("weighted", [False, True])
+    @pytest.mark.parametrize("init", ["k-means++", "random"])
+    def test_equivalence(self, weighted, init):
+        X, weights = _problem(23)
+        kwargs = dict(init=init, n_init=3, max_iter=60, random_state=7)
+        sample_weight = weights if weighted else None
+        ref = KMeans(7, pruning="none", **kwargs).fit(X, sample_weight=sample_weight)
+        pruned = KMeans(7, pruning="bounds", **kwargs).fit(
+            X, sample_weight=sample_weight
+        )
+        _identical(ref, pruned)
+        np.testing.assert_array_equal(ref.cluster_centers_, pruned.cluster_centers_)
+
+    def test_single_cluster(self):
+        # k == 1: the lower bound is infinite, every point is pruned forever
+        # — and the inf second-distance must not leak NaN (inf − inf) out of
+        # the certified-margin deflation, so warnings are errors here.
+        import warnings
+
+        X, _ = _problem(31)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            ref = KMeans(1, pruning="none", n_init=1, random_state=0).fit(X)
+            pruned = KMeans(1, pruning="bounds", n_init=1, random_state=0).fit(X)
+        _identical(ref, pruned)
+        assert np.all(np.isinf(pruned.cluster_centers_) == False)  # noqa: E712
+
+    def test_empty_cluster_reseed_under_pruning(self):
+        # Duplicated rows + random init make duplicate centers, which empty
+        # out and trigger the farthest-point reseed that needs exact
+        # distances; the pruned path must recompute them, not use bounds.
+        rng = np.random.default_rng(0)
+        X = np.repeat(rng.normal(size=(3, 2)), 12, axis=0)
+        kwargs = dict(init="random", n_init=4, max_iter=20, random_state=3)
+        ref = KMeans(4, pruning="none", **kwargs).fit(X)
+        pruned = KMeans(4, pruning="bounds", **kwargs).fit(X)
+        _identical(ref, pruned)
+
+    @given(seed=st.integers(0, 400))
+    @settings(max_examples=25, deadline=None)
+    def test_randomized_problems(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(60, 3))
+        kwargs = dict(n_init=1, max_iter=40, random_state=seed)
+        ref = KMeans(5, pruning="none", **kwargs).fit(X)
+        pruned = KMeans(5, pruning="bounds", **kwargs).fit(X)
+        _identical(ref, pruned)
+
+
+class TestMiniBatchEquivalence:
+    def test_fit_equivalence(self):
+        X, _ = _problem(43, n=400)
+        kwargs = dict(batch_size=64, max_steps=50, random_state=1)
+        ref = MiniBatchKhatriRaoKMeans((3, 3), pruning="none", **kwargs).fit(X)
+        pruned = MiniBatchKhatriRaoKMeans((3, 3), pruning="bounds", **kwargs).fit(X)
+        np.testing.assert_array_equal(ref.labels_, pruned.labels_)
+        assert ref.inertia_ == pruned.inertia_
+        assert ref.n_steps_ == pruned.n_steps_
+        for theta_ref, theta_pruned in zip(
+            ref.protocentroids_, pruned.protocentroids_
+        ):
+            np.testing.assert_array_equal(theta_ref, theta_pruned)
+        fractions = pruned.reassignment_fractions_
+        assert len(fractions) == pruned.n_steps_
+        # Once learning rates decay, re-sampled points start getting pruned.
+        assert min(fractions) < 1.0
+
+    def test_materialized_assignment_still_prunes(self):
+        # The pruning capability is the aggregator's, not the assignment
+        # knob's: a sum-aggregator fit forced onto the materialized kernel
+        # must still track and use streaming bounds.
+        X, _ = _problem(7, n=300)
+        kwargs = dict(
+            batch_size=64, max_steps=40, random_state=3,
+            assignment="materialized",
+        )
+        ref = MiniBatchKhatriRaoKMeans((3, 3), pruning="none", **kwargs).fit(X)
+        pruned = MiniBatchKhatriRaoKMeans((3, 3), pruning="bounds", **kwargs).fit(X)
+        np.testing.assert_array_equal(ref.labels_, pruned.labels_)
+        assert ref.inertia_ == pruned.inertia_
+        assert pruned.reassignment_fractions_ is not None
+        assert min(pruned.reassignment_fractions_) < 1.0
+
+    def test_product_falls_back_to_unpruned(self):
+        model = MiniBatchKhatriRaoKMeans((2, 2), aggregator="product")
+        assert not model.uses_pruning
+        X, _ = _problem(5, n=100, positive=True)
+        model.fit(X)  # must run the unpruned schedule without error
+        assert model.reassignment_fractions_ is None
+
+    def test_partial_fit_stays_unpruned(self):
+        X, _ = _problem(9, n=80)
+        model = MiniBatchKhatriRaoKMeans((2, 2), random_state=0)
+        model.partial_fit(X[:40]).partial_fit(X[40:])
+        assert model.n_steps_ == 2
+        assert model.reassignment_fractions_ is None
+
+
+class TestBoundStates:
+    def test_hamerly_bounds_lifecycle(self):
+        bounds = HamerlyBounds(np.zeros(4), 2)
+        assert not bounds.initialized
+        bounds.initialize(np.array([1.0, 4.0, 9.0, 16.0]),
+                          np.array([4.0, 9.0, 16.0, 25.0]))
+        np.testing.assert_allclose(bounds.upper, [1, 2, 3, 4])
+        np.testing.assert_allclose(bounds.lower, [2, 3, 4, 5])
+        assert bounds.candidates().size == 0
+        bounds.inflate(np.array([1.5, 0.0, 0.0, 0.0]), 0.25)
+        np.testing.assert_array_equal(bounds.candidates(), [0])
+        # Tightening back below the lower bound settles the point again.
+        survivors = bounds.tighten(np.array([0]), np.array([1.0]))
+        assert survivors.size == 0
+
+    def test_fp_margin_widens_with_norm(self):
+        # The bound seeds must account for expansion-form cancellation: a
+        # point with a huge norm gets a wide certified margin, a centered
+        # point a negligible one.
+        bounds = HamerlyBounds(np.array([0.0, 1e14]), 3)
+        bounds.initialize(np.array([1.0, 1.0]), np.array([4.0, 4.0]))
+        assert abs(bounds.upper[0] - 1.0) < 1e-6
+        assert bounds.upper[1] > 1.0 + 1e-3  # inflated by eps·‖x‖²
+        assert bounds.lower[1] < 2.0 - 1e-3  # deflated symmetrically
+
+    def test_streaming_bounds_settle_and_invalidate(self):
+        state = StreamingBounds(np.zeros(3), 2, (2, 2))
+        idx = np.array([0, 2])
+        state.record(idx, np.array([1, 3]), np.array([1.0, 1.0]),
+                     np.array([25.0, 25.0]))
+        assert state.settled(np.array([0, 1, 2])).tolist() == [True, False, True]
+        # A large drift on a protocentroid both points use invalidates them.
+        state.advance([np.array([0.0, 10.0]), np.array([0.0, 10.0])])
+        assert state.settled(np.array([0, 2])).tolist() == [False, False]
+
+
+class TestUncenteredData:
+    """Expansion-form distances lose ~eps·‖x‖² to cancellation on offset
+    data; the certified bound margins must keep pruned runs exactly
+    equivalent anyway (regression: strict bounds without margins wrongly
+    pruned near-tied points at offset 1e7)."""
+
+    @pytest.mark.parametrize("offset", [1e6, 1e7])
+    def test_kmeans_offset_equivalence(self, offset):
+        for seed in range(8):
+            rng = np.random.default_rng(seed)
+            X = rng.normal(size=(150, 3)) + offset
+            kwargs = dict(n_init=1, max_iter=40, random_state=seed)
+            ref = KMeans(6, pruning="none", **kwargs).fit(X)
+            pruned = KMeans(6, pruning="bounds", **kwargs).fit(X)
+            _identical(ref, pruned)
+
+    @pytest.mark.parametrize("offset", [1e6, 1e7])
+    def test_kr_offset_equivalence(self, offset):
+        for seed in range(8):
+            rng = np.random.default_rng(seed)
+            X = rng.normal(size=(120, 3)) + offset
+            kwargs = dict(n_init=1, max_iter=40, random_state=seed)
+            ref = KhatriRaoKMeans((2, 3), pruning="none", **kwargs).fit(X)
+            pruned = KhatriRaoKMeans((2, 3), pruning="bounds", **kwargs).fit(X)
+            _identical(ref, pruned)
+
+    def test_minibatch_offset_equivalence(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(300, 3)) + 1e7
+        kwargs = dict(batch_size=64, max_steps=40, random_state=2)
+        ref = MiniBatchKhatriRaoKMeans((2, 2), pruning="none", **kwargs).fit(X)
+        pruned = MiniBatchKhatriRaoKMeans((2, 2), pruning="bounds", **kwargs).fit(X)
+        np.testing.assert_array_equal(ref.labels_, pruned.labels_)
+        assert ref.inertia_ == pruned.inertia_

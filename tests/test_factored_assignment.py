@@ -222,6 +222,45 @@ class TestEstimatorEquivalence:
         ).fit(X)
         np.testing.assert_array_equal(ref.predict(X_new), fac.predict(X_new))
 
+    def test_predict_honors_factored_kernel(self, monkeypatch):
+        # Out-of-sample assignment must get the same factored speedup as
+        # fit(): with a decomposable aggregator, predict() may never
+        # materialize the centroid grid.
+        rng = np.random.default_rng(8)
+        X = rng.normal(size=(60, 3))
+        model = KhatriRaoKMeans(
+            (3, 3), assignment="factored", n_init=2, random_state=0
+        ).fit(X)
+
+        def _no_materialize(*args, **kwargs):
+            raise AssertionError("predict materialized the centroid grid")
+
+        import repro.core.kr_kmeans as kr_module
+
+        monkeypatch.setattr(kr_module, "khatri_rao_combine", _no_materialize)
+        labels = model.predict(rng.normal(size=(20, 3)))
+        assert labels.shape == (20,)
+
+    def test_summary_assign_honors_factored_kernel(self, monkeypatch):
+        from repro import summary as summary_module
+        from repro.summary import summarize
+
+        rng = np.random.default_rng(9)
+        X = rng.normal(size=(60, 3))
+        model = KhatriRaoKMeans((3, 3), n_init=2, random_state=0).fit(X)
+        data_summary = summarize(model)
+        X_new = rng.normal(size=(25, 3))
+        expected = assign_to_nearest(X_new, data_summary.centroids())[0]
+
+        def _no_materialize(*args, **kwargs):
+            raise AssertionError("summary assignment materialized the grid")
+
+        monkeypatch.setattr(
+            summary_module, "assign_to_nearest", _no_materialize
+        )
+        np.testing.assert_array_equal(data_summary.assign(X_new), expected)
+        assert np.isfinite(data_summary.inertia(X_new))
+
     def test_invalid_assignment_rejected(self):
         with pytest.raises(ValidationError):
             KhatriRaoKMeans((2, 2), assignment="bogus")
