@@ -28,8 +28,16 @@ def main() -> None:
     # bounds across Lloyd iterations, so late iterations re-score only the
     # few points whose labels could still change — same labels, less work;
     # pruning="none" re-scores every point every iteration.
+    # update="auto" (also the default) picks the update kernel the same way:
+    # the closed-form protocentroid update assembles each set's numerator
+    # from per-set-pair contingency count tables (C_qr @ theta_r) instead of
+    # gathering a per-point "rest" matrix — the update (the per-iteration
+    # floor once assignment is factored and pruned) keeps one bincount pass
+    # over the data per set but drops every full-size float temporary, a
+    # several-fold constant-factor win; update="gather" forces the reference
+    # per-point arithmetic (the two agree to last-ulp rounding drift).
     kr = KhatriRaoKMeans((6, 6), aggregator="sum", n_init=20, random_state=0,
-                         assignment="auto", pruning="auto")
+                         assignment="auto", update="auto", pruning="auto")
     with Timer() as kr_time:
         kr.fit(X)
     kr_materialized = KhatriRaoKMeans((6, 6), aggregator="sum", n_init=20,

@@ -3,10 +3,17 @@
 The sandboxed environment ships setuptools without the ``wheel`` package, so
 PEP 517 editable installs (which build a wheel) fail.  This shim lets
 ``pip install -e . --no-use-pep517 --no-build-isolation`` — and plain
-``pip install -e .`` on modern toolchains — work everywhere.  All project
-metadata lives in ``pyproject.toml``.
+``pip install -e .`` on modern toolchains — work everywhere.
+
+The ``test`` extra pins what the CI unit-test step installs: ``hypothesis``
+powers the property-based equivalence suites (factored assignment, bounds
+pruning, contingency-table updates).
 """
 
 from setuptools import setup
 
-setup()
+setup(
+    extras_require={
+        "test": ["pytest", "hypothesis"],
+    },
+)

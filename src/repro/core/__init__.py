@@ -11,6 +11,11 @@
 * :func:`assign_factored` — the factored assignment kernel that exploits
   Khatri-Rao structure to skip centroid materialization (Section 6,
   "Complexity");
+* :func:`update_factored` / :func:`update_gather` — the closed-form
+  protocentroid update kernels (:mod:`repro.core._update`): the
+  contingency-table form that kills the per-set ``(n, m)`` rest gather for
+  decomposable aggregators, and the reference gather arithmetic (the
+  estimators' ``update`` knob);
 * Hamerly bound pruning (:mod:`repro.core._bounds`) — cross-iteration
   distance bounds that restrict each Lloyd pass to the points whose labels
   could actually change (the estimators' ``pruning`` knob).
@@ -18,6 +23,12 @@
 
 from ._bounds import PRUNING_MODES, HamerlyBounds, StreamingBounds
 from ._factored import assign_factored, grouped_row_sum
+from ._update import (
+    UPDATE_MODES,
+    update_factored,
+    update_gather,
+    update_protocentroids,
+)
 from .design import (
     balanced_factor_pair,
     balanced_factorization,
@@ -38,6 +49,10 @@ __all__ = [
     "kmeans_plus_plus_init",
     "assign_factored",
     "grouped_row_sum",
+    "UPDATE_MODES",
+    "update_factored",
+    "update_gather",
+    "update_protocentroids",
     "PRUNING_MODES",
     "HamerlyBounds",
     "StreamingBounds",

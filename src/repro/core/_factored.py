@@ -26,9 +26,10 @@ Which aggregators decompose this way is an aggregator capability
 the product aggregator does not, and estimators fall back to the
 materialized path for it.
 
-The module also hosts :func:`grouped_row_sum`, the bincount-based scatter
-reduction used by the closed-form protocentroid updates (``np.add.at`` is an
-order of magnitude slower than per-column ``np.bincount``).
+The module also hosts :func:`grouped_row_sum`, the fused-bincount scatter
+reduction used by the closed-form protocentroid updates
+(:mod:`repro.core._update`); ``np.add.at`` is an order of magnitude slower
+for this access pattern.
 """
 
 from __future__ import annotations
@@ -202,14 +203,23 @@ def grouped_row_sum(
     """Sum rows of ``values`` into ``num_groups`` buckets given by ``assignments``.
 
     Equivalent to ``np.add.at(out, assignments, values)`` on a zeroed
-    ``(num_groups, m)`` array, but implemented as per-column ``np.bincount``
-    reductions — ``np.add.at`` buffered scatter is a known order-of-magnitude
-    slowdown for this access pattern.
+    ``(num_groups, m)`` array, but implemented as a single flat
+    ``np.bincount`` over the fused index ``assignments·m + column`` —
+    ``np.add.at`` buffered scatter is a known order-of-magnitude slowdown
+    for this access pattern, and one fused pass beats the previous
+    per-column ``np.bincount`` loop (m Python-level calls over strided
+    columns) at every realistic ``m``.  Bit-identical to both: every output
+    bucket accumulates its contributions in the same (increasing-row)
+    order.
     """
-    m = values.shape[1]
-    out = np.empty((num_groups, m), dtype=float)
-    for column in range(m):
-        out[:, column] = np.bincount(
-            assignments, weights=values[:, column], minlength=num_groups
-        )
-    return out
+    values = np.asarray(values, dtype=float)
+    n, m = values.shape
+    if m == 0:
+        return np.zeros((num_groups, m), dtype=float)
+    fused = assignments.astype(np.int64, copy=False)[:, None] * m + np.arange(
+        m, dtype=np.int64
+    )
+    return np.bincount(
+        fused.ravel(), weights=np.ascontiguousarray(values).ravel(),
+        minlength=num_groups * m,
+    ).reshape(num_groups, m)

@@ -49,6 +49,13 @@ from ._factored import (
     grouped_row_sum,
     resolve_assignment,
 )
+from ._update import (
+    UPDATE_MODES,
+    _rest_contribution,
+    factored_sum_numerator,
+    pair_count_tables,
+    resolve_update,
+)
 
 __all__ = ["MiniBatchKhatriRaoKMeans"]
 
@@ -75,6 +82,16 @@ class MiniBatchKhatriRaoKMeans:
         the aggregator supports it, skipping centroid materialization in
         every mini-batch step; unsupported aggregators fall back to the
         materialized path transparently.
+    update : {"auto", "factored", "gather"}
+        Strategy for the per-batch sufficient statistics, as in
+        :class:`KhatriRaoKMeans`: ``"factored"`` assembles each set's
+        batch numerator through per-set-pair contingency count tables
+        (:mod:`repro.core._update`) instead of gathering a
+        ``(batch, m)`` rest matrix per set; ``"auto"`` (default) picks it
+        whenever the aggregator supports it (sum), falling back to
+        ``"gather"`` otherwise.  The mini-batch learning-rate schedule is
+        unaffected — only the arithmetic order of the batch-optimal target
+        changes (last-ulp drift).
     pruning : {"auto", "bounds", "none"}
         Cross-step Hamerly pruning inside :meth:`fit` (which samples its own
         batch indices and can therefore track per-point state).  Bounds are
@@ -117,6 +134,7 @@ class MiniBatchKhatriRaoKMeans:
         max_steps: int = 100,
         reassignment_tol: float = 1e-4,
         assignment: str = "auto",
+        update: str = "auto",
         pruning: str = "auto",
         random_state=None,
     ) -> None:
@@ -126,6 +144,7 @@ class MiniBatchKhatriRaoKMeans:
         self.max_steps = check_positive_int(max_steps, "max_steps")
         self.reassignment_tol = float(reassignment_tol)
         self.assignment = check_in(assignment, "assignment", ASSIGNMENT_MODES)
+        self.update = check_in(update, "update", UPDATE_MODES)
         self.pruning = check_pruning(pruning)
         self.random_state = random_state
 
@@ -145,6 +164,11 @@ class MiniBatchKhatriRaoKMeans:
     def uses_factored_assignment(self) -> bool:
         """Whether assignment runs through the factored Khatri-Rao kernel."""
         return resolve_assignment(self.assignment, self.aggregator)
+
+    @property
+    def uses_factored_update(self) -> bool:
+        """Whether batch statistics run through the contingency kernel."""
+        return resolve_update(self.update, self.aggregator)
 
     @property
     def uses_pruning(self) -> bool:
@@ -293,26 +317,33 @@ class MiniBatchKhatriRaoKMeans:
         thetas = self.protocentroids_
         set_labels = np.stack(np.unravel_index(labels, self.cardinalities), axis=1)
         is_product = self.aggregator.name == "product"
+        factored = self.uses_factored_update
+        # The contingency tables depend only on the batch assignments, which
+        # are fixed for the whole sweep — one fused bincount per set pair.
+        tables = (
+            pair_count_tables(set_labels, self.cardinalities) if factored else None
+        )
         total_shift = 0.0
         drift_tables = (
             [np.zeros(h) for h in self.cardinalities] if collect_drift else None
         )
         for q, h in enumerate(self.cardinalities):
-            rest_parts = [
-                thetas[l][set_labels[:, l]]
-                for l in range(len(thetas))
-                if l != q
-            ]
-            if rest_parts:
-                rest = self.aggregator.combine(rest_parts)
-            else:
-                rest = self.aggregator.identity(batch.shape)
             assignments = set_labels[:, q]
-            if is_product:
-                numerator = grouped_row_sum(assignments, batch * rest, h)
-                denominator = grouped_row_sum(assignments, rest * rest, h)
+            if factored:
+                # Batch numerator without the (batch, m) rest gather; thetas
+                # is partially updated (sets < q), matching the gather sweep.
+                numerator = factored_sum_numerator(
+                    q, thetas, grouped_row_sum(assignments, batch, h), tables
+                )
             else:
-                numerator = grouped_row_sum(assignments, batch - rest, h)
+                rest = _rest_contribution(
+                    self.aggregator, thetas, set_labels, q, batch.shape[1]
+                )
+                if is_product:
+                    numerator = grouped_row_sum(assignments, batch * rest, h)
+                    denominator = grouped_row_sum(assignments, rest * rest, h)
+                else:
+                    numerator = grouped_row_sum(assignments, batch - rest, h)
             batch_counts = np.bincount(assignments, minlength=h).astype(float)
             for j in np.flatnonzero(batch_counts > 0):
                 if is_product:

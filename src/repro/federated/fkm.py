@@ -28,6 +28,8 @@ from .._validation import (
     check_random_state,
 )
 from ..core._distances import assign_to_nearest
+from ..core._factored import assign_factored, grouped_row_sum
+from ..core._update import sum_sufficient_statistics
 from ..exceptions import NotFittedError, ValidationError
 from ..linalg import get_aggregator, khatri_rao_combine
 
@@ -103,8 +105,7 @@ class FederatedKMeans:
                 client_centers = centers.copy()
                 for _ in range(self.local_steps):
                     labels, _ = assign_to_nearest(X, client_centers)
-                    client_sums = np.zeros_like(client_centers)
-                    np.add.at(client_sums, labels, X)
+                    client_sums = grouped_row_sum(labels, X, self.n_clusters)
                     client_counts = np.bincount(labels, minlength=self.n_clusters)
                     non_empty = client_counts > 0
                     client_centers[non_empty] = (
@@ -112,7 +113,7 @@ class FederatedKMeans:
                     )
                 # Client report: statistics under the final local assignment.
                 labels, _ = assign_to_nearest(X, client_centers)
-                np.add.at(sums, labels, X)
+                sums += grouped_row_sum(labels, X, self.n_clusters)
                 counts += np.bincount(labels, minlength=self.n_clusters)
             non_empty = counts > 0
             centers[non_empty] = sums[non_empty] / counts[non_empty, None]
@@ -148,9 +149,13 @@ class KhatriRaoFederatedKMeans:
     """Khatri-Rao-FkM: federated clustering communicating protocentroids.
 
     The server broadcasts the ``∑ h_q`` protocentroid vectors; each client
-    materializes centroids locally, assigns its shard and returns the
+    assigns its shard (through the factored kernel for decomposable
+    aggregators — never materializing the centroid grid) and returns the
     per-protocentroid sufficient statistics of Proposition 6.1 (numerators
     and denominators), which the server merges into the closed-form update.
+    For the sum aggregator the client report itself is contingency-factored
+    (:func:`repro.core._update.sum_sufficient_statistics`), skipping the
+    per-point rest gather on the client too.
 
     Parameters mirror :class:`FederatedKMeans`; ``aggregator`` defaults to
     the product, as in the paper's case study.
@@ -211,22 +216,31 @@ class KhatriRaoFederatedKMeans:
             )
             for _ in range(self.local_steps):
                 # One global KR-Lloyd step from merged client statistics.
+                factored = self.aggregator.supports_factored_update
                 for q, h in enumerate(self.cardinalities):
                     numerator = np.zeros((h, m))
                     denominator = np.zeros((h, m)) if is_product else np.zeros(h)
                     for X in datas:
-                        centroids = khatri_rao_combine(thetas, self.aggregator)
-                        labels, _ = assign_to_nearest(X, centroids)
+                        labels = self._client_labels(X, thetas)
                         set_labels = np.stack(
                             np.unravel_index(labels, self.cardinalities), axis=1
                         )
-                        rest = self._rest(thetas, set_labels, q, m)
                         a_q = set_labels[:, q]
-                        if is_product:
-                            np.add.at(numerator, a_q, X * rest)
-                            np.add.at(denominator, a_q, rest * rest)
+                        if factored:
+                            # Contingency-factored client report: no
+                            # per-point rest gather on the client either.
+                            client_num, client_mass = sum_sufficient_statistics(
+                                X, thetas, set_labels, q
+                            )
+                            numerator += client_num
+                            denominator += client_mass
+                        elif is_product:
+                            rest = self._rest(thetas, set_labels, q, m)
+                            numerator += grouped_row_sum(a_q, X * rest, h)
+                            denominator += grouped_row_sum(a_q, rest * rest, h)
                         else:
-                            np.add.at(numerator, a_q, X - rest)
+                            rest = self._rest(thetas, set_labels, q, m)
+                            numerator += grouped_row_sum(a_q, X - rest, h)
                             denominator += np.bincount(a_q, minlength=h)
                     if is_product:
                         safe = denominator > 1e-12
@@ -259,6 +273,20 @@ class KhatriRaoFederatedKMeans:
     def broadcast_vectors(self) -> int:
         """Vectors broadcast per round (``∑ h_q`` for Khatri-Rao-FkM)."""
         return int(sum(self.cardinalities))
+
+    def _client_labels(self, X: np.ndarray, thetas: List[np.ndarray]) -> np.ndarray:
+        """One client's local assignment of its shard.
+
+        Routed through the factored Khatri-Rao kernel when the aggregator
+        decomposes (sum) — identical labels to materializing the grid, but
+        the client never builds the ``(∏ h_q, m)`` centroid matrix.
+        """
+        if self.aggregator.supports_factored_assignment:
+            labels, _ = assign_factored(X, thetas, self.aggregator)
+            return labels
+        centroids = khatri_rao_combine(thetas, self.aggregator)
+        labels, _ = assign_to_nearest(X, centroids)
+        return labels
 
     def _rest(
         self, thetas: List[np.ndarray], set_labels: np.ndarray, excluded: int, m: int

@@ -49,6 +49,17 @@ The **product** aggregator does not decompose this way (``x·∏_q θ_q`` is
 not a sum of per-set terms), so it keeps the default
 ``supports_factored_assignment = False`` and estimators transparently fall
 back to the materialized assignment path.
+
+Factored-update capability
+--------------------------
+The closed-form protocentroid update of Proposition 6.1 factors the same
+way: for the sum aggregator the per-point *rest* gather
+``Σ_{r≠q} θ_r[a_r]`` grouped by ``a_q`` equals ``C_qr @ θ_r`` through
+per-set-pair contingency count tables, so the update never materializes an
+``(n, m)`` rest matrix (see :mod:`repro.core._update`).  Aggregators
+advertise this through ``supports_factored_update``; the product
+aggregator's update is nonlinear in each ``θ_r`` (the denominator carries
+``rest ⊙ rest``), so it keeps the gather path.
 """
 
 from __future__ import annotations
@@ -73,6 +84,9 @@ class Aggregator(ABC):
     #: whether squared distances to aggregated centroids decompose over the
     #: protocentroid sets, enabling :func:`repro.core.assign_factored`
     supports_factored_assignment: bool = False
+    #: whether the closed-form protocentroid update factors through per-pair
+    #: contingency tables, enabling :func:`repro.core.update_factored`
+    supports_factored_update: bool = False
 
     @abstractmethod
     def combine(self, parts: Sequence[np.ndarray]) -> np.ndarray:
@@ -148,6 +162,7 @@ class SumAggregator(Aggregator):
     name = "sum"
     symbol = "+"
     supports_factored_assignment = True
+    supports_factored_update = True
 
     def combine(self, parts: Sequence[np.ndarray]) -> np.ndarray:
         if not parts:

@@ -29,9 +29,11 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
-from ._validation import check_array
+from ._validation import check_array, check_random_state
 from .core._distances import assign_to_nearest
 from .core._factored import assign_factored
+from .core._update import resolve_update, update_protocentroids
+from .core.kmeans import _check_sample_weight
 from .exceptions import ValidationError
 from .linalg import get_aggregator, khatri_rao_combine
 
@@ -117,13 +119,17 @@ class DataSummary:
             return assign_factored(X, self.protocentroids, aggregator)
         return assign_to_nearest(X, self.centroids())
 
-    def assign(self, X) -> np.ndarray:
-        """Assign each row of ``X`` to its nearest reconstructed centroid."""
+    def _check_features(self, X) -> np.ndarray:
         X = check_array(X)
         if X.shape[1] != self.n_features:
             raise ValidationError(
                 f"X has {X.shape[1]} features, summary has {self.n_features}"
             )
+        return X
+
+    def assign(self, X) -> np.ndarray:
+        """Assign each row of ``X`` to its nearest reconstructed centroid."""
+        X = self._check_features(X)
         labels, _ = self._nearest(X)
         return labels
 
@@ -132,6 +138,42 @@ class DataSummary:
         X = check_array(X)
         _, distances = self._nearest(X)
         return float(distances.sum())
+
+    def refine(
+        self,
+        X,
+        *,
+        n_steps: int = 1,
+        update: str = "auto",
+        sample_weight=None,
+        random_state=None,
+    ) -> "DataSummary":
+        """Run ``n_steps`` closed-form Lloyd refinements on ``X``, in place.
+
+        Summary maintenance without refitting from scratch: each step
+        assigns ``X`` (through the factored kernel when the aggregator
+        decomposes) and applies the closed-form protocentroid update of
+        Proposition 6.1 through :mod:`repro.core._update` — the ``update``
+        knob picks the contingency-table or gather arithmetic exactly as on
+        the estimators.  Protocentroids that receive no mass are reseeded
+        from ``random_state``.  Returns ``self``.
+        """
+        X = self._check_features(X)
+        aggregator = get_aggregator(self.aggregator_name)
+        factored = resolve_update(update, aggregator)
+        rng = check_random_state(random_state)
+        if sample_weight is not None:
+            sample_weight = _check_sample_weight(sample_weight, X.shape[0])
+        for _ in range(int(n_steps)):
+            labels, _ = self._nearest(X)
+            set_labels = np.stack(
+                np.unravel_index(labels, self.cardinalities), axis=1
+            )
+            self.protocentroids = update_protocentroids(
+                X, self.protocentroids, set_labels, aggregator, rng,
+                weights=sample_weight, factored=factored,
+            )
+        return self
 
     def report(self) -> str:
         """Human-readable compression report."""
