@@ -34,6 +34,7 @@ from .summary import DataSummary, summarize
 from .exceptions import (
     ConvergenceWarning,
     DatasetError,
+    DtypeFallbackWarning,
     NotFittedError,
     ReproError,
     ValidationError,
@@ -64,6 +65,7 @@ __all__ = [
     "NotFittedError",
     "DatasetError",
     "ConvergenceWarning",
+    "DtypeFallbackWarning",
     "core",
     "deep",
     "datasets",

@@ -16,11 +16,55 @@ from .exceptions import ValidationError
 
 __all__ = [
     "check_array",
+    "check_dtype",
+    "as_float_array",
     "check_positive_int",
     "check_in",
     "check_cardinalities",
     "check_random_state",
 ]
+
+#: working dtypes the kernel stack computes in; everything else is rejected
+#: at the API boundary (``check_dtype``) or silently widened to float64 at
+#: kernel entry (``as_float_array``).
+SUPPORTED_DTYPES = (np.dtype(np.float64), np.dtype(np.float32))
+
+
+def check_dtype(dtype, *, name: str = "dtype") -> np.dtype:
+    """Validate an estimator ``dtype`` knob.
+
+    Accepts anything :func:`numpy.dtype` understands (``"float32"``,
+    ``np.float64``, an existing dtype instance, ...) as long as it resolves
+    to one of the supported working dtypes, ``float64`` or ``float32``.
+
+    Returns
+    -------
+    numpy.dtype
+        The canonical dtype instance.
+    """
+    try:
+        resolved = np.dtype(dtype)
+    except TypeError:
+        raise ValidationError(f"{name} could not be interpreted as a numpy dtype: {dtype!r}")
+    if resolved not in SUPPORTED_DTYPES:
+        raise ValidationError(
+            f"{name} must be one of {tuple(str(d) for d in SUPPORTED_DTYPES)}, "
+            f"got {dtype!r}"
+        )
+    return resolved
+
+
+def as_float_array(a) -> np.ndarray:
+    """Convert ``a`` to an ndarray, preserving a float32/float64 dtype.
+
+    The dtype-aware kernels use this instead of ``np.asarray(a, dtype=float)``
+    so a float32 input stays float32 end-to-end; any other dtype (ints,
+    float16, ...) is widened to float64, the historical behavior.
+    """
+    a = np.asarray(a)
+    if a.dtype in SUPPORTED_DTYPES:
+        return a
+    return a.astype(np.float64)
 
 
 def check_array(

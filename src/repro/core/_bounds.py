@@ -43,6 +43,42 @@ not just the real-arithmetic ones.  On well-conditioned data the margin is
 ~1e-13 relative and costs nothing; on badly-conditioned data it gracefully
 degrades pruning toward full re-scores instead of corrupting results.
 
+Dtype-aware margins (proof sketch)
+----------------------------------
+With the estimators' ``dtype="float32"`` knob the distance kernels round at
+``eps32 ≈ 1.19e-7`` instead of ``eps64 ≈ 2.22e-16``, so the certified
+margin widens by the same machine-epsilon factor: ``_fp_margin_factor``
+takes the *seed dtype* (the dtype of the squared distances and ``‖x‖²``
+fed into the bounds) and evaluates ``8·(m + 8)·eps(dtype)``.  The claim
+that pruning stays label-identical to the unpruned run *at the same dtype*
+follows from three invariants:
+
+1. **Seeds.**  A squared distance computed by the expansion-form kernels in
+   dtype ``t`` differs from its real value by at most
+   ``γ·(‖x‖² + d̂)`` with ``γ = c·(m + 2)·eps(t)`` for a small constant
+   ``c``: the ``m``-term dot products each carry ``O(m·eps(t))`` relative
+   roundoff scaled by term magnitudes, the three-term combination adds two
+   more rounds, and blocked BLAS accumulation orders only shrink the
+   constant.  The margin ``8·(m + 8)·eps(t)·(‖x‖² + d̂) ≥ γ·(‖x‖² + d̂)``
+   therefore brackets the computed value between the certified upper and
+   lower bounds, with the slack factor (≥ 4×) absorbing the square-root
+   rounding of the bound itself.
+2. **Maintenance.**  Everything the bounds do *after* seeding runs in
+   float64 regardless of the working dtype: ``upper``/``lower`` are float64
+   arrays, ``margin_base`` is float64 (``eps(t) · float64(‖x‖²)``), and the
+   drift tables that inflate them are computed in float64 by
+   ``factored_drift`` / :func:`dense_drift` from the (dtype-rounded, hence
+   exactly representable) protocentroids.  Maintenance therefore
+   contributes only ``O(eps64)`` drift per iteration — covered many times
+   over by the ≥ 4× seed slack, since margins are ``Ω(eps(t))``.
+3. **Decisions.**  Pruning compares a certified upper bound against a
+   certified lower bound *strictly*, so a skip certifies
+   ``computed_d(x, c_a) < computed_d(x, c_j)`` for every ``j ≠ a`` — the
+   exact inequality the same-dtype unpruned argmin evaluates; ties and
+   uncertain cases fall through to the argmin itself.  Hence labels,
+   inertia and iteration counts are bit-identical per dtype (certified on
+   the ``tests/test_dtype.py`` grid, including un-centered float32 data).
+
 Late iterations therefore drop from ``O(n·k·p)`` (factored) or ``O(n·k·m)``
 (materialized) to ``O(|active|·…) + O(n)`` bound maintenance.  Pruned and
 unpruned paths produce identical labels, inertia and iteration counts; the
@@ -124,18 +160,34 @@ def drift_inflation_from_tables(
 
 
 def dense_drift(old_centroids: np.ndarray, new_centroids: np.ndarray) -> np.ndarray:
-    """Exact per-centroid movement ``δ_j = ‖c_j^new − c_j^old‖``, shape (k,)."""
-    return np.sqrt(paired_squared_distances(new_centroids, old_centroids))
+    """Exact per-centroid movement ``δ_j = ‖c_j^new − c_j^old‖``, shape (k,).
+
+    Computed in float64 for any input dtype: drift feeds the certified
+    bound maintenance, which is float64 by contract (module docstring) so
+    the margins only have to cover the dtype-rounded distance seeds.
+    """
+    return np.sqrt(paired_squared_distances(
+        np.asarray(new_centroids, dtype=np.float64),
+        np.asarray(old_centroids, dtype=np.float64),
+    ))
 
 
-def _fp_margin_factor(n_features: int) -> float:
+def _fp_margin_factor(n_features: int, dtype=np.float64) -> float:
     """Worst-case relative cancellation error of an expansion-form distance.
 
     ``‖x‖² − 2 x·c + ‖c‖²`` accumulates roundoff proportional to the term
-    magnitudes over an ``m``-term dot product; ``8·(m + 8)·eps`` bounds it
-    with generous slack (BLAS accumulation orders are blocked, not naive).
+    magnitudes over an ``m``-term dot product; ``8·(m + 8)·eps(dtype)``
+    bounds it with generous slack (BLAS accumulation orders are blocked,
+    not naive).  ``dtype`` is the *seed* dtype — the precision the distance
+    kernels computed in (the estimators' working dtype) — so float32 runs
+    get margins widened by ``eps32/eps64 ≈ 5.4e8``; the ≥ 4× slack also
+    absorbs the float64 bound-maintenance roundoff (see the module
+    docstring's proof sketch).
     """
-    return 8.0 * (n_features + 8) * float(np.finfo(float).eps)
+    dtype = np.dtype(dtype)
+    if dtype.kind != "f":
+        dtype = np.dtype(np.float64)
+    return 8.0 * (n_features + 8) * float(np.finfo(dtype).eps)
 
 
 def _certified_upper_bound(d_squared, margin_base, eps_factor):
@@ -178,8 +230,14 @@ class HamerlyBounds:
 
     def __init__(self, x_squared_norms: np.ndarray, n_features: int) -> None:
         n = x_squared_norms.shape[0]
-        self._eps_factor = _fp_margin_factor(n_features)
-        self._margin_base = self._eps_factor * x_squared_norms
+        # Margins scale with the machine epsilon of the dtype the distance
+        # seeds are computed in (the estimators' working dtype, inferred
+        # from the hoisted ‖x‖² vector); all bound state itself is float64
+        # — see the module docstring's proof sketch.
+        self._eps_factor = _fp_margin_factor(n_features, x_squared_norms.dtype)
+        self._margin_base = self._eps_factor * np.asarray(
+            x_squared_norms, dtype=np.float64
+        )
         self.upper = np.zeros(n)
         self.lower = np.zeros(n)
         self.initialized = False
@@ -307,8 +365,12 @@ class StreamingBounds:
     ) -> None:
         n = x_squared_norms.shape[0]
         self.cardinalities = tuple(cardinalities)
-        self._eps_factor = _fp_margin_factor(n_features)
-        self._margin_base = self._eps_factor * x_squared_norms
+        # Same dtype-aware margin policy as HamerlyBounds: eps factor from
+        # the seed dtype, all bound state and maintenance in float64.
+        self._eps_factor = _fp_margin_factor(n_features, x_squared_norms.dtype)
+        self._margin_base = self._eps_factor * np.asarray(
+            x_squared_norms, dtype=np.float64
+        )
         self.known = np.zeros(n, dtype=bool)
         self.labels = np.zeros(n, dtype=np.int64)
         self.upper = np.zeros(n)

@@ -36,6 +36,12 @@ seeds the Hamerly bounds.
 
 Callers that assign repeatedly against the same data (Lloyd iterations) can
 hoist ``‖x‖²`` out of the loop by passing ``x_squared_norms`` (sklearn-style).
+
+All kernels are **dtype-preserving**: float32 inputs are scored in float32
+end-to-end (the estimators' ``dtype`` knob casts once at ``fit`` entry), so
+the BLAS matmuls run sgemm and the score blocks take half the bandwidth.
+Scratch state (running best/second vectors) follows the block dtype; any
+non-float32/float64 input falls back to float64, the historical behavior.
 """
 
 from __future__ import annotations
@@ -50,6 +56,11 @@ __all__ = [
     "paired_squared_distances",
     "row_norms_squared",
 ]
+
+
+def _working_dtype(X: np.ndarray) -> np.dtype:
+    """Scratch dtype for scoring ``X``: float32 stays float32, else float64."""
+    return X.dtype if X.dtype == np.dtype(np.float32) else np.dtype(np.float64)
 
 
 def row_norms_squared(X: np.ndarray) -> np.ndarray:
@@ -106,7 +117,7 @@ def _row_second_min(block: np.ndarray, block_labels: np.ndarray) -> np.ndarray:
     second copy of the minimum still reports the tied value.
     """
     if block.shape[1] < 2:
-        return np.full(block.shape[0], np.inf)
+        return np.full(block.shape[0], np.inf, dtype=block.dtype)
     np.put_along_axis(block, block_labels[:, None], np.inf, axis=1)
     return block.min(axis=1)
 
@@ -118,6 +129,7 @@ def _chunked_argmin(
     block_fn: Callable[[int, int], np.ndarray],
     *,
     return_second: bool = False,
+    dtype=np.float64,
 ) -> Tuple[np.ndarray, ...]:
     """Running argmin over column blocks of an implicit ``(n, k)`` matrix.
 
@@ -134,8 +146,8 @@ def _chunked_argmin(
     treated as scratch and clobbered by the second-min extraction.
     """
     labels = np.zeros(n, dtype=np.int64)
-    best = np.full(n, np.inf)
-    second = np.full(n, np.inf) if return_second else None
+    best = np.full(n, np.inf, dtype=dtype)
+    second = np.full(n, np.inf, dtype=dtype) if return_second else None
     for start in range(0, k, chunk_size):
         stop = min(start + chunk_size, k)
         block = block_fn(start, stop)
@@ -207,4 +219,5 @@ def assign_to_nearest(
             X, C[start:stop], x_squared_norms=x_squared_norms
         ),
         return_second=return_second,
+        dtype=np.promote_types(_working_dtype(X), _working_dtype(C)),
     )

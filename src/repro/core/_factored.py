@@ -38,12 +38,14 @@ from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .._validation import as_float_array
 from ..exceptions import ValidationError
 from ..linalg import get_aggregator
 from ._distances import (
     _chunked_argmin,
     _row_min,
     _row_second_min,
+    _working_dtype,
     row_norms_squared,
 )
 
@@ -116,7 +118,9 @@ def assign_factored(
             f"aggregator {agg.name!r} does not support factored assignment; "
             "use the materialized path instead"
         )
-    X = np.asarray(X, dtype=float)
+    # Dtype-preserving: float32 data scores in float32 (sgemm Grams, half-
+    # bandwidth partial-score blocks); anything else widens to float64.
+    X = as_float_array(X)
     n = X.shape[0]
     cardinalities = tuple(theta.shape[0] for theta in thetas)
     k = int(np.prod(cardinalities))
@@ -146,6 +150,7 @@ def assign_factored(
                 grams, self_term_block, cardinalities, start, stop
             ),
             return_second=return_second,
+            dtype=_working_dtype(grams[0]),
         )
         if return_second:
             labels, best, second = result
@@ -211,14 +216,26 @@ def grouped_row_sum(
     columns) at every realistic ``m``.  Bit-identical to both: every output
     bucket accumulates its contributions in the same (increasing-row)
     order.
+
+    **Accumulates — and returns — float64 for every input dtype.**  This is
+    one of the two deliberate float64 islands of the ``dtype="float32"``
+    kernel stack (the other is the ``C_qr @ θ_r`` contingency matmuls; see
+    ``docs/numerics.md``): the grouped sum reduces up to ``n`` terms per
+    bucket, and a float32 accumulator would grow an ``O(eps32·n·|Σ|)``
+    error that dwarfs the single ``O(eps32·|v|)`` rounding the callers pay
+    when they store the quotient back into a float32 protocentroid.  Each
+    float32 element widens to float64 exactly, so the result is
+    bit-identical to summing a pre-widened copy.
     """
-    values = np.asarray(values, dtype=float)
+    values = as_float_array(values)
     n, m = values.shape
     if m == 0:
-        return np.zeros((num_groups, m), dtype=float)
+        return np.zeros((num_groups, m), dtype=np.float64)
     fused = assignments.astype(np.int64, copy=False)[:, None] * m + np.arange(
         m, dtype=np.int64
     )
+    # np.bincount casts its weights to float64 internally (exact for f4
+    # inputs) and always returns a float64 accumulation.
     return np.bincount(
         fused.ravel(), weights=np.ascontiguousarray(values).ravel(),
         minlength=num_groups * m,

@@ -47,6 +47,18 @@ transparently falls back to the gather path.
 Both kernels reseed empty protocentroids identically (same weighted-mass
 test, same ``rng`` draws, in the same order), so the reseed trajectories of
 the two arithmetic forms coincide bit for bit.
+
+Dtype policy (the estimators' ``dtype`` knob)
+---------------------------------------------
+Inputs keep their float32/float64 dtype through the per-point arithmetic
+(gathers, ``w·X``, ``x − rest``), but **all grouped accumulation runs in
+float64**: :func:`repro.core._factored.grouped_row_sum` and
+``np.bincount`` return float64 sums, and the ``C_qr @ θ_r`` rest terms are
+computed as float64-``C_qr`` matmuls.  The float64 numerator/denominator
+quotient is rounded **once** when stored into the (working-dtype)
+protocentroid array, so the per-update error at float32 is ``O(eps32·|θ|)``
+per coordinate instead of the ``O(eps32·n_j·|Σ|)`` a float32 accumulator
+would pay over a bucket of ``n_j`` points (see ``docs/numerics.md``).
 """
 
 from __future__ import annotations
@@ -55,6 +67,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .._validation import as_float_array
 from ..exceptions import ValidationError
 from ..linalg import get_aggregator
 from ._factored import grouped_row_sum
@@ -168,16 +181,19 @@ def sum_sufficient_statistics(
     mass; the server sums them and divides, which is exactly the global
     closed-form update of Proposition 6.1.
     """
+    X = as_float_array(X)
     cardinalities = tuple(theta.shape[0] for theta in thetas)
     h = cardinalities[q]
     a_q = set_labels[:, q]
-    Xw = X if weights is None else X * weights[:, None]
+    Xw = X if weights is None else X * np.asarray(weights, dtype=X.dtype)[:, None]
     numerator = grouped_row_sum(a_q, Xw, h)
     for r, theta in enumerate(thetas):
         if r == q:
             continue
         table = _pair_table(a_q, set_labels[:, r], h, cardinalities[r], weights)
-        numerator -= table @ np.asarray(theta, dtype=float)
+        # float64 C_qr against the working-dtype θ_r promotes to a float64
+        # matmul — the second documented float64 accumulation island.
+        numerator -= table @ np.asarray(theta, dtype=np.float64)
     mass = np.bincount(a_q, weights=weights, minlength=h).astype(float, copy=False)
     return numerator, mass
 
@@ -256,11 +272,11 @@ def update_factored(
             f"aggregator {agg.name!r} does not support the contingency-table "
             "update; use the gather path instead"
         )
-    X = np.asarray(X, dtype=float)
+    X = as_float_array(X)
     cardinalities = tuple(theta.shape[0] for theta in thetas)
-    Xw = X if weights is None else X * weights[:, None]
+    Xw = X if weights is None else X * np.asarray(weights, dtype=X.dtype)[:, None]
     tables = pair_count_tables(set_labels, cardinalities, weights)
-    new_thetas = [np.asarray(theta, dtype=float).copy() for theta in thetas]
+    new_thetas = [as_float_array(theta).copy() for theta in thetas]
     for q, h in enumerate(cardinalities):
         assignments = set_labels[:, q]
         mass = _group_mass(assignments, weights, h)
@@ -290,12 +306,15 @@ def update_gather(
     drift for decomposable aggregators.
     """
     agg = get_aggregator(aggregator)
-    X = np.asarray(X, dtype=float)
+    X = as_float_array(X)
     m = X.shape[1]
     cardinalities = tuple(theta.shape[0] for theta in thetas)
-    w_column = None if weights is None else weights[:, None]
+    w_column = (
+        None if weights is None
+        else np.asarray(weights, dtype=X.dtype)[:, None]
+    )
     is_product = agg.name == "product"
-    new_thetas = [np.asarray(theta, dtype=float).copy() for theta in thetas]
+    new_thetas = [as_float_array(theta).copy() for theta in thetas]
     for q, h in enumerate(cardinalities):
         rest = _rest_contribution(agg, new_thetas, set_labels, q, m)
         assignments = set_labels[:, q]
@@ -358,5 +377,12 @@ def _rest_contribution(
         if l != excluded_set
     ]
     if not parts:
-        return aggregator.identity((set_labels.shape[0], feature_dim))
+        shape = (set_labels.shape[0], feature_dim)
+        try:
+            return aggregator.identity(shape, dtype=thetas[0].dtype)
+        except TypeError:
+            # Pre-dtype third-party aggregators implement identity(shape)
+            # only; their float64 neutral element merely promotes the p=1
+            # rest arithmetic, which grouped accumulation re-rounds anyway.
+            return aggregator.identity(shape)
     return aggregator.combine(parts)

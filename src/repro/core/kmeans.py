@@ -14,7 +14,13 @@ from typing import Optional
 
 import numpy as np
 
-from .._validation import check_array, check_in, check_positive_int, check_random_state
+from .._validation import (
+    check_array,
+    check_dtype,
+    check_in,
+    check_positive_int,
+    check_random_state,
+)
 from ..exceptions import ConvergenceWarning, NotFittedError, ValidationError
 from ._bounds import HamerlyBounds, check_pruning, dense_drift, hamerly_step
 from ._distances import (
@@ -28,11 +34,16 @@ from ._factored import grouped_row_sum
 __all__ = ["KMeans", "kmeans_plus_plus_init"]
 
 
-def _check_sample_weight(sample_weight, n_samples: int) -> np.ndarray:
-    """Validate per-sample weights; defaults to all-ones."""
+def _check_sample_weight(sample_weight, n_samples: int, dtype=np.float64) -> np.ndarray:
+    """Validate per-sample weights; defaults to all-ones.
+
+    ``dtype`` is the estimator's working dtype: weights are cast once here
+    so the per-point products (``w·X``, weighted inertia) stay in-dtype
+    instead of silently promoting every float32 hot-loop array to float64.
+    """
     if sample_weight is None:
-        return np.ones(n_samples)
-    weights = np.asarray(sample_weight, dtype=float).ravel()
+        return np.ones(n_samples, dtype=dtype)
+    weights = np.asarray(sample_weight, dtype=dtype).ravel()
     if weights.shape[0] != n_samples:
         raise ValidationError(
             f"sample_weight has length {weights.shape[0]}, expected {n_samples}"
@@ -60,17 +71,22 @@ def kmeans_plus_plus_init(
     n = X.shape[0]
     if n_clusters > n:
         raise ValidationError(f"n_clusters={n_clusters} exceeds number of samples {n}")
-    centers = np.empty((n_clusters, X.shape[1]), dtype=float)
+    # Seeds inherit the data dtype (the estimators' working dtype).
+    centers = np.empty((n_clusters, X.shape[1]), dtype=X.dtype)
     first = rng.integers(n)
     centers[0] = X[first]
     closest = squared_distances(X, centers[:1]).ravel()
     for i in range(1, n_clusters):
-        total = closest.sum()
+        # D² probabilities in float64 whatever the working dtype:
+        # rng.choice normalization is strict, and float32 distances summed
+        # to a float32 total can miss its tolerance.  No-op at float64.
+        closest64 = np.asarray(closest, dtype=np.float64)
+        total = closest64.sum()
         if total <= 0.0:
             # All points coincide with chosen centers; fall back to uniform.
             idx = rng.integers(n)
         else:
-            idx = rng.choice(n, p=closest / total)
+            idx = rng.choice(n, p=closest64 / total)
         centers[i] = X[idx]
         new_distances = squared_distances(X, centers[i : i + 1]).ravel()
         np.minimum(closest, new_distances, out=closest)
@@ -101,19 +117,33 @@ class KMeans:
         drift each iteration, and re-score only the points whose bounds
         overlap — late iterations cost ``O(|active|·k·m)`` instead of
         ``O(n·k·m)``.  Produces labels, inertia and iteration counts
-        identical to the unpruned path; ``"auto"`` (default) enables it,
-        ``"none"`` forces the classic full re-assignment.
+        identical to the unpruned path *at the same working dtype* (the
+        certified bound margins scale with the dtype's machine epsilon);
+        ``"auto"`` (default) enables it, ``"none"`` forces the classic full
+        re-assignment.
+    dtype : {"float64", "float32"} or numpy dtype
+        Working dtype of the fit: ``X`` is cast once at ``fit`` entry and
+        the distance/update hot loops compute in that precision (float32
+        halves memory bandwidth on the BLAS-bound assignment step).
+        Grouped accumulation (centroid sums via
+        :func:`repro.core.grouped_row_sum`), inertia reductions and the
+        pruning-bound maintenance stay float64 — see ``docs/numerics.md``
+        for the error envelope.  ``"float64"`` (default) is bit-identical
+        to the historical behavior.
     random_state : None, int or Generator
         Source of randomness.
 
     Attributes
     ----------
     cluster_centers_ : array of shape (n_clusters, m)
+        Learned centroids, in the working dtype.
     labels_ : int array of shape (n,)
     inertia_ : float
         Sum of squared distances to assigned centroids (Eq. 1).
     n_iter_ : int
         Iterations run by the best restart.
+    dtype_ : numpy.dtype
+        Working dtype the fit actually ran in.
 
     Examples
     --------
@@ -133,6 +163,7 @@ class KMeans:
         max_iter: int = 200,
         tol: float = 1e-4,
         pruning: str = "auto",
+        dtype="float64",
         random_state=None,
     ) -> None:
         self.n_clusters = check_positive_int(n_clusters, "n_clusters")
@@ -141,12 +172,14 @@ class KMeans:
         self.max_iter = check_positive_int(max_iter, "max_iter")
         self.tol = float(tol)
         self.pruning = check_pruning(pruning)
+        self.dtype = check_dtype(dtype)
         self.random_state = random_state
 
         self.cluster_centers_: Optional[np.ndarray] = None
         self.labels_: Optional[np.ndarray] = None
         self.inertia_: float = np.inf
         self.n_iter_: int = 0
+        self.dtype_: Optional[np.dtype] = None
 
     # ------------------------------------------------------------------ API
     def fit(self, X, sample_weight=None) -> "KMeans":
@@ -156,8 +189,11 @@ class KMeans:
         the objective and to the centroid updates (e.g. counts of repeated
         rows).
         """
-        X = check_array(X, min_samples=self.n_clusters)
-        weights = _check_sample_weight(sample_weight, X.shape[0])
+        # KMeans has no aggregator capability to consult: the requested
+        # dtype is the working dtype, cast exactly once here.
+        self.dtype_ = self.dtype
+        X = check_array(X, min_samples=self.n_clusters, dtype=self.dtype_)
+        weights = _check_sample_weight(sample_weight, X.shape[0], dtype=X.dtype)
         rng = check_random_state(self.random_state)
         # ‖x‖² is constant across iterations and restarts — pay for it once.
         x_squared_norms = row_norms_squared(X)
@@ -191,7 +227,7 @@ class KMeans:
     def predict(self, X) -> np.ndarray:
         """Assign each row of ``X`` to its nearest learned centroid."""
         self._check_fitted()
-        X = check_array(X)
+        X = check_array(X, dtype=self.cluster_centers_.dtype)
         if X.shape[1] != self.cluster_centers_.shape[1]:
             raise ValidationError(
                 f"X has {X.shape[1]} features, model was fitted with "
@@ -203,15 +239,15 @@ class KMeans:
     def transform(self, X) -> np.ndarray:
         """Squared distances of each row of ``X`` to every centroid."""
         self._check_fitted()
-        X = check_array(X)
+        X = check_array(X, dtype=self.cluster_centers_.dtype)
         return squared_distances(X, self.cluster_centers_)
 
     def score(self, X) -> float:
         """Negative inertia of ``X`` under the learned centroids."""
         self._check_fitted()
-        X = check_array(X)
+        X = check_array(X, dtype=self.cluster_centers_.dtype)
         _, distances = assign_to_nearest(X, self.cluster_centers_)
-        return -float(distances.sum())
+        return -float(distances.sum(dtype=np.float64))
 
     def parameter_count(self) -> int:
         """Scalars stored by the summary: ``k · m``."""
@@ -309,7 +345,9 @@ class KMeans:
                     )
                 farthest = np.argsort(min_distances * weights)[::-1][: empty.size]
                 new_centers[empty] = X[farthest]
-            shift = float(np.sum((new_centers - centers) ** 2))
+            # float64 reduction for any working dtype (exact no-op at f64):
+            # the convergence test must not drown in f32 accumulation noise.
+            shift = float(np.sum((new_centers - centers) ** 2, dtype=np.float64))
             if bounds is not None and shift >= self.tol:
                 drift = dense_drift(centers, new_centers)
                 bounds.inflate(drift[labels], float(drift.max()))
@@ -325,4 +363,5 @@ class KMeans:
         labels, min_distances = assign_to_nearest(
             X, centers, x_squared_norms=x_squared_norms
         )
-        return centers, labels, float((min_distances * weights).sum()), iterations
+        inertia = float((min_distances * weights).sum(dtype=np.float64))
+        return centers, labels, inertia, iterations

@@ -2,10 +2,13 @@
 
 Khatri-Rao k-Means represents ``k = h_1 · h_2 · ... · h_p`` centroids through
 ``p`` sets of protocentroids with only ``h_1 + ... + h_p`` stored vectors.
-Each iteration:
+Each iteration, as the paper states it:
 
 1. materializes centroids by aggregating protocentroids (on the fly in the
-   memory-efficient mode, or cached in the time-efficient mode — Appendix B);
+   memory-efficient mode, or cached in the time-efficient mode — Appendix B)
+   — in this implementation an *implicit* step for decomposable
+   aggregators, which score the grid without ever building it (see
+   "Factored assignment" below);
 2. assigns every point to its nearest centroid, which induces a per-set
    assignment through the centroid-index ↔ tuple bijection;
 3. updates each protocentroid in closed form (Proposition 6.1, generalized
@@ -90,12 +93,18 @@ import numpy as np
 from .._validation import (
     check_array,
     check_cardinalities,
+    check_dtype,
     check_in,
     check_positive_int,
     check_random_state,
 )
 from ..exceptions import ConvergenceWarning, NotFittedError, ValidationError
-from ..linalg import get_aggregator, khatri_rao_combine, num_combinations
+from ..linalg import (
+    get_aggregator,
+    khatri_rao_combine,
+    num_combinations,
+    resolve_working_dtype,
+)
 from ._bounds import (
     HamerlyBounds,
     check_pruning,
@@ -145,10 +154,16 @@ class KhatriRaoKMeans:
     tol : float
         Stopping tolerance on total squared centroid movement (paper: 1e-4).
     mode : {"auto", "time", "memory"}
-        ``"time"`` materializes all ``∏ h_q`` centroids once per iteration;
-        ``"memory"`` computes centroid chunks on the fly so peak memory grows
-        with ``∑ h_q`` instead of ``∏ h_q`` (Appendix B).  ``"auto"`` picks
-        ``"memory"`` when the centroid matrix would dominate the data matrix.
+        Peak-memory policy of the scoring sweep (Appendix B): ``"time"``
+        scores the whole centroid grid at once, ``"memory"`` sweeps it in
+        ``chunk_size`` blocks so peak memory grows with ``∑ h_q`` instead
+        of ``∏ h_q``, and ``"auto"`` picks ``"memory"`` when the grid would
+        dominate the data matrix.  Whether centroids are *materialized* at
+        all is the ``assignment`` knob's business: with the factored kernel
+        (the sum-aggregator default since the factored-assignment
+        subsystem) neither mode ever builds the ``(∏ h_q, m)`` matrix —
+        time mode holds the full ``(n, ∏ h_q)`` partial-score block,
+        memory mode only ``(n, chunk_size)`` blocks.
     assignment : {"auto", "factored", "materialized"}
         Strategy for the nearest-centroid step.  ``"factored"`` exploits the
         Khatri-Rao structure: per-set Gram matrices ``G_q = X @ θ_qᵀ`` and a
@@ -181,18 +196,35 @@ class KhatriRaoKMeans:
         through the aggregator's ``factored_drift`` hook when it
         decomposes), and re-runs the argmin only on the points whose bounds
         overlap.  Exactly equivalent to the unpruned path — identical
-        labels, inertia and iteration counts.  ``"auto"`` (default) enables
-        it except in memory mode with a non-decomposable aggregator, where
-        the dense ``(k,)`` drift vector would break the bounded-peak-memory
-        guarantee; ``"none"`` always re-scores every point.
+        labels, inertia and iteration counts *at the same working dtype*
+        (the certified bound margins scale with the dtype's machine
+        epsilon, so float32 runs stay label-identical to unpruned float32
+        runs).  ``"auto"`` (default) enables it except in memory mode with
+        a non-decomposable aggregator, where the dense ``(k,)`` drift
+        vector would break the bounded-peak-memory guarantee; ``"none"``
+        always re-scores every point.
     chunk_size : int
         Number of centroids scored at a time in memory mode.
+    dtype : {"float64", "float32"} or numpy dtype
+        Working dtype of the kernel stack: ``X`` is cast once at ``fit``
+        entry, protocentroids/Grams/partial scores are allocated in-dtype,
+        and the BLAS-bound hot paths (``cross_gram``, score blocks) run at
+        that precision — float32 halves their memory bandwidth, the
+        serving-shaped configuration.  Grouped accumulation
+        (:func:`repro.core.grouped_row_sum`, the ``C_qr @ θ_r`` contingency
+        matmuls), inertia/shift reductions and pruning-bound maintenance
+        deliberately stay float64 (error analysis in ``docs/numerics.md``).
+        The dtype must be supported by the aggregator's ``working_dtypes``
+        capability; unsupported requests fall back to float64 with a
+        :class:`~repro.exceptions.DtypeFallbackWarning`.  ``"float64"``
+        (default) is bit-identical to the historical behavior.
     random_state : None, int or Generator
         Source of randomness.
 
     Attributes
     ----------
     protocentroids_ : list of arrays, set ``q`` has shape ``(h_q, m)``
+        Learned protocentroid sets, in the working dtype.
     labels_ : int array of shape (n,)
         Flat centroid index per point (C-order over the tuple indices).
     set_labels_ : int array of shape (n, p)
@@ -203,6 +235,10 @@ class KhatriRaoKMeans:
         Fraction of points fully re-scored at each Lloyd iteration of the
         best restart (1.0 on the seeding iteration, then typically decaying
         fast); ``None`` when pruning is disabled.
+    dtype_ : numpy.dtype
+        Working dtype the fit actually ran in (after capability
+        resolution — equals the requested ``dtype`` unless the aggregator
+        forced the float64 fallback).
 
     Examples
     --------
@@ -229,6 +265,7 @@ class KhatriRaoKMeans:
         update: str = "auto",
         pruning: str = "auto",
         chunk_size: int = 256,
+        dtype="float64",
         random_state=None,
     ) -> None:
         self.cardinalities = check_cardinalities(cardinalities)
@@ -242,6 +279,7 @@ class KhatriRaoKMeans:
         self.update = check_in(update, "update", UPDATE_MODES)
         self.pruning = check_pruning(pruning)
         self.chunk_size = check_positive_int(chunk_size, "chunk_size")
+        self.dtype = check_dtype(dtype)
         self.random_state = random_state
 
         self.protocentroids_: Optional[List[np.ndarray]] = None
@@ -250,6 +288,7 @@ class KhatriRaoKMeans:
         self.inertia_: float = np.inf
         self.n_iter_: int = 0
         self.reassignment_fractions_: Optional[List[float]] = None
+        self.dtype_: Optional[np.dtype] = None
         self._previous_thetas: Optional[List[np.ndarray]] = None
 
     # ------------------------------------------------------------------ API
@@ -307,12 +346,15 @@ class KhatriRaoKMeans:
         in the closed-form protocentroid updates (the weighted form of
         Proposition 6.1).
         """
-        X = check_array(X, min_samples=max(self.cardinalities))
+        # Resolve the requested dtype against the aggregator capability
+        # (loud float64 fallback), then cast exactly once for the whole fit.
+        self.dtype_ = resolve_working_dtype(self.dtype, self.aggregator)
+        X = check_array(X, min_samples=max(self.cardinalities), dtype=self.dtype_)
         # None stays None: the update kernels and the inertia reduction skip
         # the exact-but-wasted multiply by an all-ones weight column.
         weights = (
             None if sample_weight is None
-            else _check_sample_weight(sample_weight, X.shape[0])
+            else _check_sample_weight(sample_weight, X.shape[0], dtype=X.dtype)
         )
         rng = check_random_state(self.random_state)
         materialize = self._should_materialize(X)
@@ -342,7 +384,7 @@ class KhatriRaoKMeans:
     def predict(self, X) -> np.ndarray:
         """Assign each row of ``X`` to its nearest reconstructed centroid."""
         self._check_fitted()
-        X = check_array(X)
+        X = check_array(X, dtype=self.protocentroids_[0].dtype)
         if X.shape[1] != self.protocentroids_[0].shape[1]:
             raise ValidationError(
                 f"X has {X.shape[1]} features, model was fitted with "
@@ -399,7 +441,7 @@ class KhatriRaoKMeans:
             thetas = []
             for q, h in enumerate(self.cardinalities):
                 samples = X[rng.choice(X.shape[0], size=h, replace=X.shape[0] < h)]
-                block = np.empty((h, X.shape[1]), dtype=float)
+                block = np.empty((h, X.shape[1]), dtype=X.dtype)
                 for j in range(h):
                     block[j] = self.aggregator.split(samples[j], p)[q]
                 thetas.append(block)
@@ -420,7 +462,7 @@ class KhatriRaoKMeans:
         thetas = []
         offset = 0
         for q, h in enumerate(self.cardinalities):
-            block = np.empty((h, X.shape[1]), dtype=float)
+            block = np.empty((h, X.shape[1]), dtype=X.dtype)
             for j in range(h):
                 parts = self.aggregator.split(seeds[offset + j], p)
                 block[j] = parts[q]
@@ -623,9 +665,10 @@ class KhatriRaoKMeans:
             )
         labels, min_distances = self._assign(X, thetas, materialize, x_squared_norms)
         set_labels = self.set_assignments(labels)
+        # float64 reduction for any working dtype (exact no-op at f64).
         weighted_inertia = float(
-            min_distances.sum() if weights is None
-            else (min_distances * weights).sum()
+            min_distances.sum(dtype=np.float64) if weights is None
+            else (min_distances * weights).sum(dtype=np.float64)
         )
         return thetas, labels, set_labels, weighted_inertia, iterations, fractions
 
@@ -670,7 +713,9 @@ class KhatriRaoKMeans:
             new_centroids = khatri_rao_combine(thetas, self.aggregator)
             if want_drift:
                 drift = ("dense", dense_drift(old_centroids, new_centroids))
-            shift = float(np.sum((new_centroids - old_centroids) ** 2))
+            shift = float(np.sum(
+                (new_centroids - old_centroids) ** 2, dtype=np.float64
+            ))
             return shift, new_centroids, drift
         # Memory mode: measure movement chunk by chunk against the cached
         # previous protocentroids (seeded by _single_run) to avoid
@@ -694,7 +739,7 @@ class KhatriRaoKMeans:
             old_chunk = self._materialize_chunk(self._previous_thetas, start, stop)
             if want_dense:
                 drift_vector[start:stop] = dense_drift(old_chunk, new_chunk)
-            shift += float(np.sum((new_chunk - old_chunk) ** 2))
+            shift += float(np.sum((new_chunk - old_chunk) ** 2, dtype=np.float64))
         if want_dense:
             drift = ("dense", drift_vector)
         self._store_previous_thetas(thetas)

@@ -35,12 +35,18 @@ import numpy as np
 from .._validation import (
     check_array,
     check_cardinalities,
+    check_dtype,
     check_in,
     check_positive_int,
     check_random_state,
 )
 from ..exceptions import NotFittedError
-from ..linalg import get_aggregator, khatri_rao_combine, num_combinations
+from ..linalg import (
+    get_aggregator,
+    khatri_rao_combine,
+    num_combinations,
+    resolve_working_dtype,
+)
 from ._bounds import StreamingBounds, check_pruning
 from ._distances import assign_to_nearest, row_norms_squared
 from ._factored import (
@@ -68,8 +74,12 @@ class MiniBatchKhatriRaoKMeans:
     Parameters
     ----------
     cardinalities : sequence of int
-        Protocentroid set sizes ``(h_1, ..., h_p)``.
-    aggregator : {"sum", "product"}
+        Protocentroid set sizes ``(h_1, ..., h_p)``; the model streams
+        ``∏ h_q`` centroids out of ``∑ h_q`` stored vectors.
+    aggregator : {"sum", "product"} or Aggregator
+        The elementwise ``⊕`` combining protocentroids.  Its capability
+        flags decide which fast paths engage (factored
+        assignment/updates, streaming pruning, float32 kernels).
     batch_size : int
         Points sampled per update step.
     max_steps : int
@@ -97,22 +107,40 @@ class MiniBatchKhatriRaoKMeans:
         batch indices and can therefore track per-point state).  Bounds are
         anchored against cumulative drift tables so re-sampled points whose
         cached label is provably still nearest skip the argmin entirely —
-        exactly the labels and updates of the unpruned schedule.  Requires a
-        decomposable aggregator (sum); others fall back to unpruned
-        transparently, as does :meth:`partial_fit`, which receives anonymous
-        batches.
+        exactly the labels and updates of the unpruned schedule *at the
+        same working dtype* (bound margins scale with the dtype's machine
+        epsilon).  Requires a decomposable aggregator (sum); others fall
+        back to unpruned transparently, as does :meth:`partial_fit`, which
+        receives anonymous batches.
+    dtype : {"float64", "float32"} or numpy dtype
+        Working dtype of the kernel stack, as on
+        :class:`~repro.core.kr_kmeans.KhatriRaoKMeans`: data and
+        protocentroids are cast once (at :meth:`fit` entry, or at the first
+        :meth:`partial_fit` batch) and every batch scores in that
+        precision.  Per-batch grouped sums, the learning-rate count tables
+        and the streaming-bound maintenance stay float64 (see
+        ``docs/numerics.md``).  Unsupported aggregator/dtype combinations
+        fall back to float64 with a
+        :class:`~repro.exceptions.DtypeFallbackWarning`; ``"float64"``
+        (default) reproduces the historical behavior bit for bit.
     random_state : None, int or Generator
+        Source of randomness (batch sampling and initialization).
 
     Attributes
     ----------
     protocentroids_ : list of arrays
-    labels_ : labels of the full training data after the final step.
+        Learned protocentroid sets, in the working dtype.
+    labels_ : int array of shape (n,)
+        Labels of the full training data after the final step.
     inertia_ : float
     n_steps_ : int
     reassignment_fractions_ : list of float or None
         Fraction of each fitted batch that was fully re-scored (1.0 until
         points start being re-sampled, then decaying as learning rates
         shrink); ``None`` when pruning is disabled.
+    dtype_ : numpy.dtype
+        Working dtype training actually ran in (after capability
+        resolution).
 
     Examples
     --------
@@ -136,6 +164,7 @@ class MiniBatchKhatriRaoKMeans:
         assignment: str = "auto",
         update: str = "auto",
         pruning: str = "auto",
+        dtype="float64",
         random_state=None,
     ) -> None:
         self.cardinalities = check_cardinalities(cardinalities)
@@ -146,6 +175,7 @@ class MiniBatchKhatriRaoKMeans:
         self.assignment = check_in(assignment, "assignment", ASSIGNMENT_MODES)
         self.update = check_in(update, "update", UPDATE_MODES)
         self.pruning = check_pruning(pruning)
+        self.dtype = check_dtype(dtype)
         self.random_state = random_state
 
         self.protocentroids_: Optional[List[np.ndarray]] = None
@@ -153,6 +183,7 @@ class MiniBatchKhatriRaoKMeans:
         self.inertia_: float = np.inf
         self.n_steps_: int = 0
         self.reassignment_fractions_: Optional[List[float]] = None
+        self.dtype_: Optional[np.dtype] = None
         self._counts: Optional[List[np.ndarray]] = None
 
     @property
@@ -184,7 +215,10 @@ class MiniBatchKhatriRaoKMeans:
     # ------------------------------------------------------------------ API
     def fit(self, X) -> "MiniBatchKhatriRaoKMeans":
         """Run ``max_steps`` mini-batch steps over ``X``."""
-        X = check_array(X, min_samples=max(self.cardinalities))
+        self.dtype_ = resolve_working_dtype(self.dtype, self.aggregator)
+        X = check_array(
+            X, min_samples=max(self.cardinalities), dtype=self.dtype_
+        )
         rng = check_random_state(self.random_state)
         self._initialize(X, rng)
         state = (
@@ -213,12 +247,14 @@ class MiniBatchKhatriRaoKMeans:
             if smoothed_shift < self.reassignment_tol:
                 break
         self.labels_, distances = self._assign(X)
-        self.inertia_ = float(distances.sum())
+        self.inertia_ = float(distances.sum(dtype=np.float64))
         return self
 
     def partial_fit(self, batch) -> "MiniBatchKhatriRaoKMeans":
         """Incrementally update the model with one batch (online use)."""
-        batch = check_array(batch)
+        if self.dtype_ is None:
+            self.dtype_ = resolve_working_dtype(self.dtype, self.aggregator)
+        batch = check_array(batch, dtype=self.dtype_)
         rng = check_random_state(self.random_state)
         if self.protocentroids_ is None:
             self._initialize(batch, rng)
@@ -232,7 +268,7 @@ class MiniBatchKhatriRaoKMeans:
             raise NotFittedError(
                 "MiniBatchKhatriRaoKMeans is not fitted yet; call fit first"
             )
-        X = check_array(X)
+        X = check_array(X, dtype=self.protocentroids_[0].dtype)
         labels, _ = self._assign(X)
         return labels
 
@@ -268,11 +304,13 @@ class MiniBatchKhatriRaoKMeans:
         thetas = []
         for q, h in enumerate(self.cardinalities):
             samples = X[rng.choice(X.shape[0], size=h, replace=X.shape[0] < h)]
-            block = np.empty((h, X.shape[1]))
+            block = np.empty((h, X.shape[1]), dtype=X.dtype)
             for j in range(h):
                 block[j] = self.aggregator.split(samples[j], p)[q]
             thetas.append(block)
         self.protocentroids_ = thetas
+        # Learning-rate bookkeeping stays float64 at any working dtype: the
+        # counts only feed the scalar schedule eta = batch/total.
         self._counts = [np.zeros(h) for h in self.cardinalities]
 
     def partial_fit_batch(self, batch: np.ndarray, rng: np.random.Generator) -> float:
@@ -357,7 +395,9 @@ class MiniBatchKhatriRaoKMeans:
                 self._counts[q][j] += batch_counts[j]
                 eta = batch_counts[j] / self._counts[q][j]
                 updated = (1.0 - eta) * thetas[q][j] + eta * target
-                step_shift = float(np.sum((updated - thetas[q][j]) ** 2))
+                step_shift = float(np.sum(
+                    (updated - thetas[q][j]) ** 2, dtype=np.float64
+                ))
                 total_shift += step_shift
                 if collect_drift:
                     drift_tables[q][j] = np.sqrt(step_shift)

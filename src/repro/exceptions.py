@@ -25,5 +25,15 @@ class ConvergenceWarning(UserWarning):
     """An iterative procedure stopped before reaching its tolerance."""
 
 
+class DtypeFallbackWarning(UserWarning):
+    """A requested working dtype is not supported by the selected aggregator.
+
+    Raised as a *warning*, not an error: the estimator falls back to
+    ``float64`` (always supported) so the fit still runs, but the caller is
+    told loudly that the serving-shaped configuration they asked for is not
+    what executed.
+    """
+
+
 class DatasetError(ReproError, KeyError):
     """A dataset name was not found in the registry or is misconfigured."""

@@ -11,8 +11,13 @@ Protocol (one round):
    variant through the same closed-form updates as Proposition 6.1, which
    only require the aggregated sums.
 
-Communication cost is accounted in bytes of float64 payload per round,
-matching the x-axis of Figure 10.
+Communication cost is accounted in bytes of working-dtype payload per
+round, matching the x-axis of Figure 10: the paper's float64 setting is
+the default, and the ``dtype="float32"`` knob halves the broadcast (the
+production-serving configuration).  Client-side statistics keep the
+dtype policy of the central kernels — per-point arithmetic in the working
+dtype, grouped accumulation and the server-side merge in float64
+(``docs/numerics.md``).
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ import numpy as np
 
 from .._validation import (
     check_cardinalities,
+    check_dtype,
     check_positive_int,
     check_random_state,
 )
@@ -31,16 +37,31 @@ from ..core._distances import assign_to_nearest
 from ..core._factored import assign_factored, grouped_row_sum
 from ..core._update import sum_sufficient_statistics
 from ..exceptions import NotFittedError, ValidationError
-from ..linalg import get_aggregator, khatri_rao_combine
+from ..linalg import get_aggregator, khatri_rao_combine, resolve_working_dtype
 
 __all__ = ["FederatedKMeans", "KhatriRaoFederatedKMeans", "communication_cost_bytes"]
 
 _FLOAT_BYTES = 8
 
 
-def communication_cost_bytes(n_vectors: int, n_features: int, n_clients: int, n_rounds: int) -> int:
-    """Bytes sent server→clients: one model broadcast per client per round."""
-    return int(n_vectors) * int(n_features) * _FLOAT_BYTES * int(n_clients) * int(n_rounds)
+def communication_cost_bytes(
+    n_vectors: int,
+    n_features: int,
+    n_clients: int,
+    n_rounds: int,
+    *,
+    itemsize: int = _FLOAT_BYTES,
+) -> int:
+    """Bytes sent server→clients: one model broadcast per client per round.
+
+    ``itemsize`` is the bytes-per-scalar of the broadcast payload — 8 for
+    the paper's float64 accounting (default), 4 when the federation runs
+    with ``dtype="float32"``.
+    """
+    return (
+        int(n_vectors) * int(n_features) * int(itemsize)
+        * int(n_clients) * int(n_rounds)
+    )
 
 
 @dataclass
@@ -55,16 +76,27 @@ class FederatedKMeans:
     Parameters
     ----------
     n_clusters : int
+        Number of global centroids ``k``.
     n_rounds : int
         Communication rounds (one broadcast + one aggregation each).
     local_steps : int
         Lloyd steps each client runs per round before reporting statistics.
+    dtype : {"float64", "float32"} or numpy dtype
+        Working dtype of shards, centroids and the broadcast payload;
+        ``history_.communication_bytes`` accounts the dtype's itemsize.
+        Client statistics still merge in float64 on the server.  Default
+        ``"float64"`` reproduces the paper's accounting bit for bit.
     random_state : None, int or Generator
+        Source of randomness (initial centroid sampling, empty reseeds).
 
     Attributes
     ----------
     cluster_centers_ : array (n_clusters, m)
-    history_ : per-round global inertia and cumulative server→client bytes.
+        Aggregated global centroids, in the working dtype.
+    history_ : _History
+        Per-round global inertia and cumulative server→client bytes.
+    initial_inertia_ : float
+        Global inertia of the initial (pre-aggregation) model.
     """
 
     def __init__(
@@ -73,13 +105,16 @@ class FederatedKMeans:
         *,
         n_rounds: int = 10,
         local_steps: int = 1,
+        dtype="float64",
         random_state=None,
     ) -> None:
         self.n_clusters = check_positive_int(n_clusters, "n_clusters")
         self.n_rounds = check_positive_int(n_rounds, "n_rounds")
         self.local_steps = check_positive_int(local_steps, "local_steps")
+        self.dtype = check_dtype(dtype)
         self.random_state = random_state
         self.cluster_centers_: Optional[np.ndarray] = None
+        self.dtype_: Optional[np.dtype] = None
         self.history_ = _History()
         #: global inertia of the initial (pre-aggregation) model — what
         #: clients hold at budgets below the first full round's cost.
@@ -88,7 +123,8 @@ class FederatedKMeans:
     # ------------------------------------------------------------------ API
     def fit(self, shards: Sequence[Tuple[np.ndarray, np.ndarray]]) -> "FederatedKMeans":
         """Run federated training over client ``(X, y)`` shards."""
-        datas = _validate_shards(shards)
+        self.dtype_ = self.dtype
+        datas = _validate_shards(shards, dtype=self.dtype)
         rng = check_random_state(self.random_state)
         m = datas[0].shape[1]
         centers = _sample_initial_vectors(datas, self.n_clusters, rng)
@@ -97,8 +133,11 @@ class FederatedKMeans:
         cumulative_bytes = 0
         for _ in range(self.n_rounds):
             cumulative_bytes += communication_cost_bytes(
-                self.n_clusters, m, len(datas), 1
+                self.n_clusters, m, len(datas), 1, itemsize=self.dtype.itemsize
             )
+            # Server-side merge accumulators stay float64 at any working
+            # dtype (documented float64 island, docs/numerics.md); the
+            # store into the working-dtype centers rounds once per round.
             sums = np.zeros((self.n_clusters, m))
             counts = np.zeros(self.n_clusters)
             for X in datas:
@@ -130,7 +169,9 @@ class FederatedKMeans:
         """Assign rows of ``X`` to the aggregated global centroids."""
         if self.cluster_centers_ is None:
             raise NotFittedError("FederatedKMeans is not fitted yet; call fit first")
-        labels, _ = assign_to_nearest(np.asarray(X, dtype=float), self.cluster_centers_)
+        labels, _ = assign_to_nearest(
+            np.asarray(X, dtype=self.cluster_centers_.dtype), self.cluster_centers_
+        )
         return labels
 
     def broadcast_vectors(self) -> int:
@@ -141,7 +182,7 @@ class FederatedKMeans:
         total = 0.0
         for X in datas:
             _, distances = assign_to_nearest(X, centers)
-            total += float(distances.sum())
+            total += float(distances.sum(dtype=np.float64))
         return total
 
 
@@ -157,8 +198,10 @@ class KhatriRaoFederatedKMeans:
     (:func:`repro.core._update.sum_sufficient_statistics`), skipping the
     per-point rest gather on the client too.
 
-    Parameters mirror :class:`FederatedKMeans`; ``aggregator`` defaults to
-    the product, as in the paper's case study.
+    Parameters mirror :class:`FederatedKMeans` (including the ``dtype``
+    knob, resolved against the aggregator's ``working_dtypes`` capability
+    with a loud float64 fallback); ``aggregator`` defaults to the product,
+    as in the paper's case study.
     """
 
     def __init__(
@@ -168,14 +211,17 @@ class KhatriRaoFederatedKMeans:
         aggregator="product",
         n_rounds: int = 10,
         local_steps: int = 1,
+        dtype="float64",
         random_state=None,
     ) -> None:
         self.cardinalities = check_cardinalities(cardinalities)
         self.aggregator = get_aggregator(aggregator)
         self.n_rounds = check_positive_int(n_rounds, "n_rounds")
         self.local_steps = check_positive_int(local_steps, "local_steps")
+        self.dtype = check_dtype(dtype)
         self.random_state = random_state
         self.protocentroids_: Optional[List[np.ndarray]] = None
+        self.dtype_: Optional[np.dtype] = None
         self.history_ = _History()
         #: global inertia of the initial (pre-aggregation) model.
         self.initial_inertia_: float = np.inf
@@ -188,14 +234,16 @@ class KhatriRaoFederatedKMeans:
         self, shards: Sequence[Tuple[np.ndarray, np.ndarray]]
     ) -> "KhatriRaoFederatedKMeans":
         """Run federated Khatri-Rao training over client shards."""
-        datas = _validate_shards(shards)
+        working = resolve_working_dtype(self.dtype, self.aggregator)
+        self.dtype_ = working
+        datas = _validate_shards(shards, dtype=working)
         rng = check_random_state(self.random_state)
         m = datas[0].shape[1]
         seeds = _sample_initial_vectors(datas, sum(self.cardinalities), rng)
         thetas: List[np.ndarray] = []
         offset = 0
         for q, h in enumerate(self.cardinalities):
-            block = np.empty((h, m))
+            block = np.empty((h, m), dtype=working)
             for j in range(h):
                 block[j] = self.aggregator.split(seeds[offset + j], len(self.cardinalities))[q]
             thetas.append(block)
@@ -205,19 +253,22 @@ class KhatriRaoFederatedKMeans:
         self.initial_inertia_ = 0.0
         for X in datas:
             _, distances = assign_to_nearest(X, initial_centroids)
-            self.initial_inertia_ += float(distances.sum())
+            self.initial_inertia_ += float(distances.sum(dtype=np.float64))
 
         self.history_ = _History()
         cumulative_bytes = 0
         is_product = self.aggregator.name == "product"
         for _ in range(self.n_rounds):
             cumulative_bytes += communication_cost_bytes(
-                sum(self.cardinalities), m, len(datas), 1
+                sum(self.cardinalities), m, len(datas), 1,
+                itemsize=working.itemsize,
             )
             for _ in range(self.local_steps):
                 # One global KR-Lloyd step from merged client statistics.
                 factored = self.aggregator.supports_factored_update
                 for q, h in enumerate(self.cardinalities):
+                    # float64 merge accumulators at any working dtype; the
+                    # quotient rounds once into the working-dtype thetas.
                     numerator = np.zeros((h, m))
                     denominator = np.zeros((h, m)) if is_product else np.zeros(h)
                     for X in datas:
@@ -254,7 +305,7 @@ class KhatriRaoFederatedKMeans:
             total = 0.0
             for X in datas:
                 _, distances = assign_to_nearest(X, centroids)
-                total += float(distances.sum())
+                total += float(distances.sum(dtype=np.float64))
             self.history_.inertia.append(total)
             self.history_.communication_bytes.append(cumulative_bytes)
         self.protocentroids_ = thetas
@@ -267,7 +318,9 @@ class KhatriRaoFederatedKMeans:
                 "KhatriRaoFederatedKMeans is not fitted yet; call fit first"
             )
         centroids = khatri_rao_combine(self.protocentroids_, self.aggregator)
-        labels, _ = assign_to_nearest(np.asarray(X, dtype=float), centroids)
+        labels, _ = assign_to_nearest(
+            np.asarray(X, dtype=centroids.dtype), centroids
+        )
         return labels
 
     def broadcast_vectors(self) -> int:
@@ -299,13 +352,13 @@ class KhatriRaoFederatedKMeans:
         return self.aggregator.combine(parts)
 
 
-def _validate_shards(shards) -> List[np.ndarray]:
+def _validate_shards(shards, dtype=np.float64) -> List[np.ndarray]:
     if not shards:
         raise ValidationError("at least one client shard is required")
     datas = []
     m = None
     for i, shard in enumerate(shards):
-        X = np.asarray(shard[0] if isinstance(shard, tuple) else shard, dtype=float)
+        X = np.asarray(shard[0] if isinstance(shard, tuple) else shard, dtype=dtype)
         if X.ndim != 2 or X.shape[0] == 0:
             raise ValidationError(f"client shard {i} must be a non-empty 2-D array")
         if m is None:
@@ -322,7 +375,8 @@ def _sample_initial_vectors(
     """Draw initial vectors from clients proportionally to shard size."""
     sizes = np.array([X.shape[0] for X in datas], dtype=float)
     choices = rng.choice(len(datas), size=count, p=sizes / sizes.sum())
-    vectors = np.empty((count, datas[0].shape[1]))
+    # Seeds inherit the (already-cast) shard dtype.
+    vectors = np.empty((count, datas[0].shape[1]), dtype=datas[0].dtype)
     for i, client in enumerate(choices):
         X = datas[int(client)]
         vectors[i] = X[int(rng.integers(X.shape[0]))]

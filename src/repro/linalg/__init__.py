@@ -16,7 +16,13 @@ This subpackage implements the two operator families the paper builds on:
   autoencoder parameters are compressed in Khatri-Rao deep clustering.
 """
 
-from .aggregators import Aggregator, ProductAggregator, SumAggregator, get_aggregator
+from .aggregators import (
+    Aggregator,
+    ProductAggregator,
+    SumAggregator,
+    get_aggregator,
+    resolve_working_dtype,
+)
 from .hadamard import (
     HadamardDecomposition,
     hadamard_parameter_count,
@@ -36,6 +42,7 @@ __all__ = [
     "SumAggregator",
     "ProductAggregator",
     "get_aggregator",
+    "resolve_working_dtype",
     "khatri_rao_combine",
     "khatri_rao_product",
     "num_combinations",

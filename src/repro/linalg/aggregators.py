@@ -60,18 +60,39 @@ per-set-pair contingency count tables, so the update never materializes an
 advertise this through ``supports_factored_update``; the product
 aggregator's update is nonlinear in each ``θ_r`` (the denominator carries
 ``rest ⊙ rest``), so it keeps the gather path.
+
+Working-dtype capability
+------------------------
+The estimators' ``dtype`` knob selects the precision the BLAS-bound hot
+paths (Grams, partial scores, rest gathers) compute in.  Each aggregator
+declares the dtypes its kernels support end-to-end through
+``working_dtypes``; :func:`resolve_working_dtype` resolves a requested
+dtype against that capability and **falls back loudly** — a
+:class:`~repro.exceptions.DtypeFallbackWarning` plus a float64 result —
+when the aggregator cannot honor the request, so a serving configuration
+never silently runs at a different precision than the caller believes.
+Both built-in aggregators support float32 and float64; third-party
+subclasses default to float64-only until they opt in.
 """
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
 from typing import List, Sequence
 
 import numpy as np
 
-from ..exceptions import ValidationError
+from .._validation import as_float_array, check_dtype
+from ..exceptions import DtypeFallbackWarning, ValidationError
 
-__all__ = ["Aggregator", "SumAggregator", "ProductAggregator", "get_aggregator"]
+__all__ = [
+    "Aggregator",
+    "SumAggregator",
+    "ProductAggregator",
+    "get_aggregator",
+    "resolve_working_dtype",
+]
 
 
 class Aggregator(ABC):
@@ -87,14 +108,20 @@ class Aggregator(ABC):
     #: whether the closed-form protocentroid update factors through per-pair
     #: contingency tables, enabling :func:`repro.core.update_factored`
     supports_factored_update: bool = False
+    #: working dtypes the aggregator's kernels compute in end-to-end; the
+    #: conservative default is float64-only — subclasses whose arithmetic
+    #: (combine/split/Grams/self-interactions) is dtype-generic opt into
+    #: float32 by extending this tuple.  Resolution (with loud float64
+    #: fallback) happens in :func:`resolve_working_dtype`.
+    working_dtypes: tuple = (np.dtype(np.float64),)
 
     @abstractmethod
     def combine(self, parts: Sequence[np.ndarray]) -> np.ndarray:
         """Aggregate ``parts`` elementwise; all parts must share a shape."""
 
     @abstractmethod
-    def identity(self, shape) -> np.ndarray:
-        """Return the neutral element of ``⊕`` with the given shape."""
+    def identity(self, shape, dtype=np.float64) -> np.ndarray:
+        """Return the neutral element of ``⊕`` with the given shape/dtype."""
 
     @abstractmethod
     def split(self, vector: np.ndarray, num_parts: int) -> List[np.ndarray]:
@@ -163,20 +190,21 @@ class SumAggregator(Aggregator):
     symbol = "+"
     supports_factored_assignment = True
     supports_factored_update = True
+    working_dtypes = (np.dtype(np.float64), np.dtype(np.float32))
 
     def combine(self, parts: Sequence[np.ndarray]) -> np.ndarray:
         if not parts:
             raise ValidationError("combine requires at least one array")
-        result = np.asarray(parts[0], dtype=float).copy()
+        result = as_float_array(parts[0]).copy()
         for part in parts[1:]:
-            result = result + np.asarray(part, dtype=float)
+            result = result + as_float_array(part)
         return result
 
-    def identity(self, shape) -> np.ndarray:
-        return np.zeros(shape, dtype=float)
+    def identity(self, shape, dtype=np.float64) -> np.ndarray:
+        return np.zeros(shape, dtype=dtype)
 
     def split(self, vector: np.ndarray, num_parts: int) -> List[np.ndarray]:
-        vector = np.asarray(vector, dtype=float)
+        vector = as_float_array(vector)
         if num_parts < 1:
             raise ValidationError("num_parts must be >= 1")
         # Equal shares: each part is v / p, summing back to v exactly.
@@ -192,13 +220,15 @@ class SumAggregator(Aggregator):
     # (h_q, h_r) inner-product tables — never the (∏ h_q, m) centroid matrix.
 
     def cross_gram(self, X: np.ndarray, thetas: Sequence[np.ndarray]) -> List[np.ndarray]:
-        return [X @ np.asarray(theta, dtype=float).T for theta in thetas]
+        # Dtype-preserving: float32 X against float32 thetas runs the whole
+        # Gram through sgemm — the main bandwidth win of dtype="float32".
+        return [X @ as_float_array(theta).T for theta in thetas]
 
     def self_interaction(self, thetas: Sequence[np.ndarray]) -> np.ndarray:
-        mats = [np.asarray(theta, dtype=float) for theta in thetas]
+        mats = [as_float_array(theta) for theta in thetas]
         cardinalities = tuple(mat.shape[0] for mat in mats)
         p = len(mats)
-        S = np.zeros(cardinalities)
+        S = np.zeros(cardinalities, dtype=np.result_type(*mats))
         for q, mat in enumerate(mats):
             shape = [1] * p
             shape[q] = cardinalities[q]
@@ -215,7 +245,7 @@ class SumAggregator(Aggregator):
         # Same expansion as self_interaction, but evaluated per index block
         # from O(Σh_q) norm vectors and O(Σ_{q<r} h_q·h_r) pairwise tables —
         # nothing of size ∏ h_q is ever allocated.
-        mats = [np.asarray(theta, dtype=float) for theta in thetas]
+        mats = [as_float_array(theta) for theta in thetas]
         norms = [np.einsum("ij,ij->i", mat, mat) for mat in mats]
         pairs = [
             (q, r, mats[q] @ mats[r].T)
@@ -224,7 +254,8 @@ class SumAggregator(Aggregator):
         ]
 
         def block(tuple_indices: Sequence[np.ndarray]) -> np.ndarray:
-            S = norms[0][tuple_indices[0]].astype(float, copy=True)
+            # Fancy indexing yields a fresh array, safe to accumulate into.
+            S = norms[0][tuple_indices[0]].copy()
             for q in range(1, len(norms)):
                 S += norms[q][tuple_indices[q]]
             for q, r, table in pairs:
@@ -239,8 +270,12 @@ class SumAggregator(Aggregator):
         # Σ_grid ‖Σ_q δ_q[j_q]‖² with δ_q = θ_q^new − θ_q^old expands into
         # per-set norm sums and pairwise sums of column totals; every grid
         # index not involved contributes a multiplicity factor k / ∏ h.
+        # Always float64, whatever the working dtype: the shift feeds the
+        # convergence test and the drift side of the certified Hamerly
+        # bounds, whose maintenance arithmetic is float64 by contract
+        # (docs/numerics.md) — the cast is O(Σh_q·m), off the hot path.
         deltas = [
-            np.asarray(new, dtype=float) - np.asarray(old, dtype=float)
+            np.asarray(new, dtype=np.float64) - np.asarray(old, dtype=np.float64)
             for old, new in zip(old_thetas, new_thetas)
         ]
         cardinalities = [delta.shape[0] for delta in deltas]
@@ -260,10 +295,13 @@ class SumAggregator(Aggregator):
     ) -> List[np.ndarray]:
         # Δc(j_1..j_p) = Σ_q Δθ_q[j_q] for ⊕ = +, so the per-set norm tables
         # ‖Δθ_q[j]‖ bound every centroid's movement via the triangle
-        # inequality — Σ h_q numbers covering all ∏ h_q centroids.
+        # inequality — Σ h_q numbers covering all ∏ h_q centroids.  Computed
+        # in float64 for any working dtype: bound-maintenance arithmetic is
+        # float64 by contract so the certified margins only have to cover
+        # the dtype-rounded *distance* seeds (docs/numerics.md).
         tables = []
         for old, new in zip(old_thetas, new_thetas):
-            delta = np.asarray(new, dtype=float) - np.asarray(old, dtype=float)
+            delta = np.asarray(new, dtype=np.float64) - np.asarray(old, dtype=np.float64)
             tables.append(np.sqrt(np.einsum("ij,ij->i", delta, delta)))
         return tables
 
@@ -273,20 +311,21 @@ class ProductAggregator(Aggregator):
 
     name = "product"
     symbol = "*"
+    working_dtypes = (np.dtype(np.float64), np.dtype(np.float32))
 
     def combine(self, parts: Sequence[np.ndarray]) -> np.ndarray:
         if not parts:
             raise ValidationError("combine requires at least one array")
-        result = np.asarray(parts[0], dtype=float).copy()
+        result = as_float_array(parts[0]).copy()
         for part in parts[1:]:
-            result = result * np.asarray(part, dtype=float)
+            result = result * as_float_array(part)
         return result
 
-    def identity(self, shape) -> np.ndarray:
-        return np.ones(shape, dtype=float)
+    def identity(self, shape, dtype=np.float64) -> np.ndarray:
+        return np.ones(shape, dtype=dtype)
 
     def split(self, vector: np.ndarray, num_parts: int) -> List[np.ndarray]:
-        vector = np.asarray(vector, dtype=float)
+        vector = as_float_array(vector)
         if num_parts < 1:
             raise ValidationError("num_parts must be >= 1")
         if num_parts == 1:
@@ -312,6 +351,33 @@ _AGGREGATORS = {
     "prod": ProductAggregator,
     "mul": ProductAggregator,
 }
+
+
+def resolve_working_dtype(dtype, aggregator) -> np.dtype:
+    """Resolve a requested working dtype against an aggregator's capability.
+
+    The estimators call this once at ``fit`` entry.  When the aggregator
+    advertises the requested dtype in ``working_dtypes`` it is returned
+    canonicalized; otherwise the resolver **falls back loudly** — a
+    :class:`~repro.exceptions.DtypeFallbackWarning` naming both the request
+    and the aggregator — and returns float64, which every aggregator must
+    support.  An outright invalid dtype (anything other than
+    float32/float64) raises :class:`~repro.exceptions.ValidationError`
+    instead of warning: that is a caller bug, not a capability gap.
+    """
+    requested = check_dtype(dtype)
+    agg = get_aggregator(aggregator)
+    if requested in agg.working_dtypes:
+        return requested
+    warnings.warn(
+        f"aggregator {agg.name!r} does not support working dtype "
+        f"{requested.name!r} (supported: "
+        f"{tuple(d.name for d in agg.working_dtypes)}); falling back to "
+        "float64",
+        DtypeFallbackWarning,
+        stacklevel=2,
+    )
+    return np.dtype(np.float64)
 
 
 def get_aggregator(aggregator) -> Aggregator:

@@ -20,7 +20,7 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
-from .._validation import check_cardinalities
+from .._validation import as_float_array, check_cardinalities
 from ..exceptions import ValidationError
 from .aggregators import get_aggregator
 
@@ -122,7 +122,9 @@ def khatri_rao_combine(
     mats = []
     feature_dim = None
     for q, theta in enumerate(thetas):
-        mat = np.asarray(theta, dtype=float)
+        # Dtype-preserving: float32 protocentroid sets materialize a float32
+        # centroid grid (half the memory); other dtypes widen to float64.
+        mat = as_float_array(theta)
         if mat.ndim != 2:
             raise ValidationError(
                 f"protocentroid set {q} must be 2-D (h_q, m), got shape {mat.shape}"

@@ -29,7 +29,7 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
-from ._validation import check_array, check_random_state
+from ._validation import as_float_array, check_array, check_dtype, check_random_state
 from .core._distances import assign_to_nearest
 from .core._factored import assign_factored
 from .core._update import resolve_update, update_protocentroids
@@ -50,7 +50,9 @@ class DataSummary:
     ----------
     protocentroids : list of arrays
         One ``(h_q, m)`` array per set; a single-set list is a plain
-        centroid summary.
+        centroid summary.  A float32/float64 dtype is preserved (a float32
+        summary is half the bytes on the wire — the serving configuration);
+        other dtypes widen to float64.  All sets must share one dtype.
     aggregator_name : str
         ``"sum"`` or ``"product"``.
     metadata : dict
@@ -66,13 +68,19 @@ class DataSummary:
         if not self.protocentroids:
             raise ValidationError("a summary needs at least one protocentroid set")
         self.protocentroids = [
-            np.asarray(theta, dtype=float) for theta in self.protocentroids
+            as_float_array(theta) for theta in self.protocentroids
         ]
         m = self.protocentroids[0].shape[1]
+        dtype = self.protocentroids[0].dtype
         for q, theta in enumerate(self.protocentroids):
             if theta.ndim != 2 or theta.shape[1] != m:
                 raise ValidationError(
                     f"protocentroid set {q} has shape {theta.shape}, expected (*, {m})"
+                )
+            if theta.dtype != dtype:
+                raise ValidationError(
+                    f"protocentroid set {q} has dtype {theta.dtype}, but set 0 "
+                    f"has {dtype}; cast the sets consistently (see astype)"
                 )
         get_aggregator(self.aggregator_name)  # validate eagerly
 
@@ -94,12 +102,33 @@ class DataSummary:
         return int(sum(self.cardinalities))
 
     @property
+    def dtype(self) -> np.dtype:
+        """Working dtype of the stored protocentroids."""
+        return self.protocentroids[0].dtype
+
+    @property
     def parameter_count(self) -> int:
         return self.stored_vectors * self.n_features
 
     def compression_ratio(self) -> float:
         """Parameters stored relative to an explicit centroid summary."""
         return self.parameter_count / (self.n_clusters * self.n_features)
+
+    def astype(self, dtype) -> "DataSummary":
+        """Return a copy of this summary cast to another working dtype.
+
+        The serving-shaped export: ``summary.astype("float32")`` halves the
+        payload and makes :meth:`assign`/:meth:`inertia` score new data in
+        float32 (see ``docs/numerics.md`` for the error envelope).  Metadata
+        is shallow-copied; ``astype(self.dtype)`` still returns a fresh
+        copy.
+        """
+        dtype = check_dtype(dtype)
+        return DataSummary(
+            [theta.astype(dtype) for theta in self.protocentroids],
+            aggregator_name=self.aggregator_name,
+            metadata=dict(self.metadata),
+        )
 
     # -------------------------------------------------------------- behavior
     def centroids(self) -> np.ndarray:
@@ -120,7 +149,8 @@ class DataSummary:
         return assign_to_nearest(X, self.centroids())
 
     def _check_features(self, X) -> np.ndarray:
-        X = check_array(X)
+        # New data is scored in the summary's own working dtype.
+        X = check_array(X, dtype=self.dtype)
         if X.shape[1] != self.n_features:
             raise ValidationError(
                 f"X has {X.shape[1]} features, summary has {self.n_features}"
@@ -135,9 +165,9 @@ class DataSummary:
 
     def inertia(self, X) -> float:
         """Squared reconstruction error of ``X`` under this summary."""
-        X = check_array(X)
+        X = self._check_features(X)
         _, distances = self._nearest(X)
-        return float(distances.sum())
+        return float(distances.sum(dtype=np.float64))
 
     def refine(
         self,
@@ -156,14 +186,32 @@ class DataSummary:
         Proposition 6.1 through :mod:`repro.core._update` — the ``update``
         knob picks the contingency-table or gather arithmetic exactly as on
         the estimators.  Protocentroids that receive no mass are reseeded
-        from ``random_state``.  Returns ``self``.
+        from ``random_state``.  Everything runs in the summary's own
+        working :attr:`dtype` (``X`` is cast on entry; grouped accumulation
+        stays float64 as documented in ``docs/numerics.md``).  Returns
+        ``self``.
+
+        Parameters
+        ----------
+        X : array of shape (n, m)
+            Data to refine against; must match :attr:`n_features`.
+        n_steps : int
+            Number of assign-update sweeps.
+        update : {"auto", "factored", "gather"}
+            Update-kernel knob, as on the estimators.
+        sample_weight : array of shape (n,), optional
+            Per-point weights of the weighted Proposition 6.1.
+        random_state : None, int or Generator
+            Source of empty-protocentroid reseed draws.
         """
         X = self._check_features(X)
         aggregator = get_aggregator(self.aggregator_name)
         factored = resolve_update(update, aggregator)
         rng = check_random_state(random_state)
         if sample_weight is not None:
-            sample_weight = _check_sample_weight(sample_weight, X.shape[0])
+            sample_weight = _check_sample_weight(
+                sample_weight, X.shape[0], dtype=X.dtype
+            )
         for _ in range(int(n_steps)):
             labels, _ = self._nearest(X)
             set_labels = np.stack(
@@ -183,7 +231,7 @@ class DataSummary:
             f"  sets          : {self.cardinalities} (aggregator "
             f"{self.aggregator_name!r})",
             f"  stored vectors: {self.stored_vectors} "
-            f"({self.parameter_count} parameters)",
+            f"({self.parameter_count} parameters, {self.dtype})",
             f"  compression   : {self.compression_ratio():.2f}x of an "
             f"explicit {self.n_clusters}-centroid summary",
         ]
