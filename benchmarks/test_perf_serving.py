@@ -1,0 +1,259 @@
+"""Serving-layer load generator: micro-batched vs per-request throughput.
+
+The serving claim (ROADMAP, ISSUE 6): at serving shapes — many concurrent
+requests of a few rows each — one coalesced factored kernel call beats
+per-request calls by well over the per-call arithmetic difference,
+because per-call fixed work (validation, Gram construction against the
+protocentroid sets, Python/BLAS dispatch) dominates when requests are
+small.  This module measures that win on the real
+:class:`~repro.serving.batcher.MicroBatcher` code path and records it to
+``.benchmarks/serving_throughput.json``.
+
+Two measurements:
+
+* **Coalescing measurement (the asserted one).**  ``REQUESTS`` requests
+  of ``ROWS_PER_REQUEST`` float32 rows are pushed through a synchronous
+  batcher (``start=False`` + :meth:`drain`) — the exact production
+  coalescing/validation/scatter code with no thread-scheduling noise —
+  against the per-request path (a batch-size-1 drain per request, i.e.
+  the same machinery denied any coalescing).  Both sides get best-of
+  repeats and the retry pattern shared by the suite; the acceptance bar
+  is **batched throughput ≥ 1.5× per-request** at equal results.
+* **Threaded end-to-end measurement (recorded, not asserted).**  A
+  worker-thread batcher under ``N_CLIENTS`` concurrent submitters, with
+  per-request submit-to-result latency percentiles for both the batched
+  window and the window=0 singleton configuration.  Wall-clock latency
+  under thread scheduling is exactly the flaky thing the suite never
+  asserts on shared runners; the JSON carries the numbers.
+
+Result correctness is gated before any timing: every request's batched
+labels must equal its own single-request call (same dtype, same kernel —
+the batcher concatenates rows, and row-independent scoring makes the
+per-row results identical).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+from conftest import print_header, scaled
+
+from repro import KhatriRaoKMeans, summarize
+from repro.serving import MicroBatcher, ModelRegistry
+from repro.serving.metrics import percentiles
+
+CARDINALITIES = (8, 8, 8)
+N_FEATURES = 64
+REQUESTS = 600
+ROWS_PER_REQUEST = 8
+REPEATS = 3
+RETRIES = 3
+N_CLIENTS = 8
+
+
+def _fixture():
+    """A fitted float32 serving model plus the request stream."""
+    rng = np.random.default_rng(0)
+    thetas = [rng.normal(scale=4.0, size=(h, N_FEATURES)) for h in CARDINALITIES]
+    flat = rng.integers(int(np.prod(CARDINALITIES)), size=4000)
+    tuple_idx = np.unravel_index(flat, CARDINALITIES)
+    X_train = sum(t[i] for t, i in zip(thetas, tuple_idx))
+    X_train = X_train + rng.normal(scale=0.3, size=X_train.shape)
+
+    model = KhatriRaoKMeans(
+        CARDINALITIES, init="kr-k-means++", n_init=1, max_iter=10,
+        random_state=0,
+    ).fit(X_train)
+    registry = ModelRegistry()  # float32 serving dtype
+    registry.register("bench", summarize(model))
+
+    n_requests = max(50, int(REQUESTS * scaled(1.0)))
+    requests = [
+        np.ascontiguousarray(
+            X_train[rng.integers(X_train.shape[0], size=ROWS_PER_REQUEST)],
+            dtype=np.float32,
+        )
+        for _ in range(n_requests)
+    ]
+    return registry, requests
+
+
+def _drain_all(registry, requests, *, singleton: bool):
+    """Push every request through a synchronous batcher; returns seconds.
+
+    ``singleton=True`` is the per-request baseline: the same submit/drain
+    machinery but drained after every submit, so each kernel call carries
+    exactly one request (batch size 1).
+    """
+    batcher = MicroBatcher(
+        registry, start=False,
+        max_batch_requests=64, max_batch_rows=1 << 20,
+    )
+    tickets = []
+    start = time.perf_counter()
+    if singleton:
+        for req in requests:
+            tickets.append(batcher.submit("assign", "bench", req))
+            batcher.drain()
+    else:
+        for req in requests:
+            tickets.append(batcher.submit("assign", "bench", req))
+        batcher.drain()
+    elapsed = time.perf_counter() - start
+    return elapsed, tickets, batcher
+
+
+def _threaded_run(registry, requests, *, window_s: float):
+    """N_CLIENTS submitter threads against a live worker batcher.
+
+    Returns (wall_seconds, per-request submit→result latencies).
+    """
+    batcher = MicroBatcher(
+        registry, window_s=window_s, max_batch_requests=64,
+        max_batch_rows=1 << 20,
+    )
+    latencies = [None] * len(requests)
+    lock = threading.Lock()
+    indices = iter(range(len(requests)))
+
+    def client():
+        while True:
+            with lock:
+                i = next(indices, None)
+            if i is None:
+                return
+            submitted = time.perf_counter()
+            ticket = batcher.submit("assign", "bench", requests[i])
+            ticket.result(timeout=30.0)
+            latencies[i] = time.perf_counter() - submitted
+
+    threads = [threading.Thread(target=client) for _ in range(N_CLIENTS)]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - start
+    batcher.stop()
+    return wall, np.asarray(latencies, dtype=np.float64)
+
+
+def test_serving_throughput():
+    registry, requests = _fixture()
+    served = registry.get("bench")
+    n = len(requests)
+    total_rows = n * ROWS_PER_REQUEST
+
+    # ---- correctness gate before timing anything: batched ≡ per-request.
+    _, batched_tickets, _ = _drain_all(registry, requests, singleton=False)
+    for ticket, req in zip(batched_tickets, requests):
+        np.testing.assert_array_equal(
+            ticket.result()["labels"], served.assign(req)
+        )
+
+    # ---- coalescing measurement (deterministic code path, asserted).
+    timings = {}
+    for attempt in range(1, RETRIES + 1):
+        best_batched = min(
+            _drain_all(registry, requests, singleton=False)[0]
+            for _ in range(REPEATS)
+        )
+        best_singleton = min(
+            _drain_all(registry, requests, singleton=True)[0]
+            for _ in range(REPEATS)
+        )
+        timings["batched"] = min(timings.get("batched", np.inf), best_batched)
+        timings["singleton"] = min(
+            timings.get("singleton", np.inf), best_singleton
+        )
+        if timings["singleton"] >= 1.5 * timings["batched"]:
+            break
+    speedup = timings["singleton"] / timings["batched"]
+    qps = {
+        "batched": n / timings["batched"],
+        "singleton": n / timings["singleton"],
+    }
+
+    # Per-request latency in the synchronous frame: the singleton path
+    # pays its own kernel call; a coalesced request's latency is the
+    # shared batch call (every member waits for the whole batch).
+    batcher_probe = MicroBatcher(
+        registry, start=False, max_batch_requests=64, max_batch_rows=1 << 20
+    )
+    singleton_lat, batched_lat = [], []
+    for req in requests:
+        t0 = time.perf_counter()
+        batcher_probe.submit("assign", "bench", req)
+        batcher_probe.drain()
+        singleton_lat.append(time.perf_counter() - t0)
+    for chunk_start in range(0, n, 64):
+        chunk = requests[chunk_start:chunk_start + 64]
+        t0 = time.perf_counter()
+        for req in chunk:
+            batcher_probe.submit("assign", "bench", req)
+        batcher_probe.drain()
+        batched_lat.extend([time.perf_counter() - t0] * len(chunk))
+
+    # ---- threaded end-to-end measurement (recorded only).
+    threaded_wall, threaded_lat = _threaded_run(
+        registry, requests, window_s=0.002
+    )
+
+    print_header(
+        f"Serving throughput: {n} requests x {ROWS_PER_REQUEST} rows, "
+        f"m={N_FEATURES}, cardinalities={CARDINALITIES} "
+        f"(k={int(np.prod(CARDINALITIES))}), float32 serving dtype"
+    )
+    print(f"{'singleton (batch=1)':<24}{timings['singleton'] * 1e3:>10.1f} ms"
+          f"{qps['singleton']:>12.0f} req/s")
+    print(f"{'micro-batched':<24}{timings['batched'] * 1e3:>10.1f} ms"
+          f"{qps['batched']:>12.0f} req/s")
+    print(f"{'speedup':<24}{speedup:>10.2f}x")
+    for name, lat in (("singleton", singleton_lat), ("batched", batched_lat),
+                      ("threaded_batched", threaded_lat)):
+        p = percentiles(lat)
+        print(f"{name + ' latency':<24}p50 {p['p50'] * 1e3:7.3f} ms   "
+              f"p99 {p['p99'] * 1e3:7.3f} ms")
+
+    record = {
+        "benchmark": "serving_throughput",
+        "n_requests": n,
+        "rows_per_request": ROWS_PER_REQUEST,
+        "total_rows": total_rows,
+        "n_features": N_FEATURES,
+        "cardinalities": list(CARDINALITIES),
+        "n_clusters": int(np.prod(CARDINALITIES)),
+        "serving_dtype": "float32",
+        "max_batch_requests": 64,
+        "timings_seconds": timings,
+        "throughput_qps": qps,
+        "speedup_batched_vs_singleton": speedup,
+        "latency_seconds": {
+            "singleton": percentiles(singleton_lat),
+            "batched": percentiles(batched_lat),
+            "threaded_batched": percentiles(threaded_lat),
+        },
+        "threaded": {
+            "n_clients": N_CLIENTS,
+            "window_s": 0.002,
+            "wall_seconds": threaded_wall,
+            "qps": n / threaded_wall,
+        },
+        "attempts": attempt,
+    }
+    out_dir = Path(__file__).resolve().parents[1] / ".benchmarks"
+    out_dir.mkdir(exist_ok=True)
+    (out_dir / "serving_throughput.json").write_text(
+        json.dumps(record, indent=2) + "\n"
+    )
+
+    # The acceptance bar (ISSUE 6): micro-batched assign throughput must
+    # be ≥ 1.5× the batch-size-1 path at equal results.  The coalescing
+    # measurement is single-threaded and best-of-repeats, so this holds
+    # with a wide margin on CI-class hardware (expected ~3-10×); the
+    # threaded numbers are recorded but never asserted.
+    assert speedup >= 1.5, record

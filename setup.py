@@ -8,9 +8,12 @@ PEP 517 editable installs (which build a wheel) fail.  This shim lets
 The ``test`` extra pins what the CI unit-test step installs: ``pytest``
 collects the suites and ``hypothesis`` powers the property-based
 equivalence grids (factored assignment, bounds pruning, contingency-table
-updates, dtype envelopes).  Supported Python versions are declared both as
-``python_requires`` and as trove classifiers so the two can never drift
-apart silently.
+updates, dtype envelopes).  The serving suites and load-generator
+benchmark deliberately fit inside the same extra — the server and its
+clients are stdlib-only (http.server, urllib, json, threading), so
+testing them adds no dependency.  Supported Python versions are declared
+both as ``python_requires`` and as trove classifiers so the two can never
+drift apart silently.
 """
 
 from pathlib import Path
@@ -20,8 +23,9 @@ from setuptools import find_packages, setup
 _HERE = Path(__file__).resolve().parent
 
 # PyPI-facing description sourced from the README so the docs entry points
-# (docs/architecture.md, docs/numerics.md, the knob table) are advertised
-# wherever the package metadata is rendered.
+# (docs/architecture.md, docs/numerics.md, docs/serving.md, the knob table
+# and the `repro.cli serve` quickstart) are advertised wherever the package
+# metadata is rendered.
 _README = _HERE / "README.md"
 LONG_DESCRIPTION = (
     _README.read_text(encoding="utf-8") if _README.exists() else ""
@@ -36,6 +40,11 @@ setup(
     version="1.0.0",
     description="Khatri-Rao clustering for data summarization (EDBT 2026 reproduction)",
     package_dir={"": "src"},
+    # Picks up every subpackage with an __init__.py — including
+    # repro.serving, the stdlib-only batched model server (http.server +
+    # json; no additions to install_requires, and the serving load
+    # generator in benchmarks/ needs nothing beyond the `test` extra).
+    # tests/test_packaging.py pins this resolution.
     packages=find_packages("src"),
     # `import repro` reaches scipy unconditionally (metrics.clustering's
     # Hungarian matching, core.gmeans's Anderson-Darling test), so both are

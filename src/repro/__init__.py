@@ -22,6 +22,8 @@ Public surface
   :class:`~repro.core.NaiveKhatriRao` — k-means-family algorithms;
 * :mod:`repro.deep` — DKM/IDEC and their Khatri-Rao variants;
 * :mod:`repro.federated` — FkM and Khatri-Rao-FkM;
+* :mod:`repro.serving` — the batched model server (registry,
+  micro-batcher, HTTP front end, metrics) over fitted summaries;
 * :mod:`repro.applications` — color quantization;
 * :mod:`repro.datasets`, :mod:`repro.metrics`, :mod:`repro.linalg`,
   :mod:`repro.core.design` — data, evaluation and design-choice utilities.
@@ -31,12 +33,18 @@ from . import applications, core, datasets, deep, federated, linalg, metrics, vi
 from .core import KhatriRaoKMeans, KMeans, MiniBatchKhatriRaoKMeans, NaiveKhatriRao
 from .deep import DEC, DKM, IDEC, KhatriRaoDEC, KhatriRaoDKM, KhatriRaoIDEC
 from .summary import DataSummary, summarize
+from . import serving
 from .exceptions import (
+    BatcherStoppedError,
     ConvergenceWarning,
     DatasetError,
     DtypeFallbackWarning,
+    ModelNotFoundError,
     NotFittedError,
+    RateLimitError,
     ReproError,
+    ServingError,
+    SummaryFormatError,
     ValidationError,
 )
 from .federated import FederatedKMeans, KhatriRaoFederatedKMeans
@@ -62,8 +70,13 @@ __all__ = [
     "khatri_rao_combine",
     "ReproError",
     "ValidationError",
+    "SummaryFormatError",
     "NotFittedError",
     "DatasetError",
+    "ServingError",
+    "ModelNotFoundError",
+    "RateLimitError",
+    "BatcherStoppedError",
     "ConvergenceWarning",
     "DtypeFallbackWarning",
     "core",
@@ -73,6 +86,7 @@ __all__ = [
     "applications",
     "linalg",
     "metrics",
+    "serving",
     "viz",
     "__version__",
 ]

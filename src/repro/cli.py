@@ -11,6 +11,9 @@ Commands
     Inspect a saved ``.npz`` data summary.
 ``quantize``
     Run the Figure 9 color-quantization case study.
+``serve``
+    Serve saved summaries over HTTP with micro-batched kernel calls
+    (:mod:`repro.serving`); float32 is the default serving dtype.
 
 Examples
 --------
@@ -21,6 +24,7 @@ Examples
         --aggregator sum --save summary.npz
     python -m repro.cli summary summary.npz
     python -m repro.cli quantize --colors 6 6
+    python -m repro.cli serve --model stickfigures=summary.npz --port 8080
 """
 
 from __future__ import annotations
@@ -31,7 +35,7 @@ from typing import List, Optional
 
 from . import __version__
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "build_server_from_args"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -66,6 +70,37 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar=("H1", "H2"),
                           help="protocentroid set sizes (default 6 6)")
     quantize.add_argument("--seed", type=int, default=0)
+
+    serve = subparsers.add_parser(
+        "serve", help="serve saved summaries over HTTP (micro-batched)"
+    )
+    serve.add_argument("--model", action="append", required=True,
+                       metavar="NAME=PATH", dest="models",
+                       help="register a saved .npz summary under NAME "
+                            "(repeatable)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="TCP port; 0 picks a free one (default 8080)")
+    serve.add_argument("--dtype", choices=("float32", "float64", "native"),
+                       default="float32",
+                       help="serving dtype models are cast to on load "
+                            "(default float32; 'native' preserves the "
+                            "artifact's dtype)")
+    serve.add_argument("--window-ms", type=float, default=5.0,
+                       help="micro-batching window in milliseconds "
+                            "(default 5)")
+    serve.add_argument("--max-batch-requests", type=int, default=256)
+    serve.add_argument("--max-batch-rows", type=int, default=8192)
+    serve.add_argument("--rate-limit", type=float, default=None,
+                       help="sustained requests/s admitted to /v1/ "
+                            "(default: unlimited)")
+    serve.add_argument("--burst", type=float, default=None,
+                       help="rate-limiter burst size (default: one "
+                            "second of --rate-limit)")
+    serve.add_argument("--max-models", type=int, default=None,
+                       help="LRU registry capacity (default: unbounded)")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress the per-request access log")
     return parser
 
 
@@ -140,11 +175,65 @@ def _cmd_quantize(args) -> int:
     return 0
 
 
+def build_server_from_args(args):
+    """Construct the :class:`~repro.serving.http.ServingServer` the
+    ``serve`` command described — separated from :func:`_cmd_serve` so
+    tests (and embedding code) can build the exact CLI-shaped server
+    without entering ``serve_forever``."""
+    from .exceptions import ValidationError
+    from .serving import ModelRegistry, create_server
+
+    registry = ModelRegistry(
+        serving_dtype=args.dtype, max_models=args.max_models
+    )
+    for spec in args.models:
+        name, sep, path = spec.partition("=")
+        if not sep or not name or not path:
+            raise ValidationError(
+                f"--model expects NAME=PATH, got {spec!r}"
+            )
+        registry.load(name, path)
+    return create_server(
+        registry,
+        host=args.host,
+        port=args.port,
+        window_s=args.window_ms / 1e3,
+        max_batch_requests=args.max_batch_requests,
+        max_batch_rows=args.max_batch_rows,
+        rate_limit=args.rate_limit,
+        burst=args.burst,
+        log_requests=not args.quiet,
+    )
+
+
+def _cmd_serve(args) -> int:
+    import logging
+
+    logging.basicConfig(
+        level=logging.WARNING if args.quiet else logging.INFO,
+        format="%(asctime)s %(name)s %(message)s",
+    )
+    server = build_server_from_args(args)
+    names = ", ".join(server.registry.names())
+    # The smoke harness and deploy scripts parse this line for the bound
+    # port (--port 0 picks a free one), so keep it on stdout and flushed.
+    print(f"serving {len(server.registry)} model(s) [{names}] on {server.url}",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+    finally:
+        server.stop()
+    return 0
+
+
 _COMMANDS = {
     "datasets": _cmd_datasets,
     "fit": _cmd_fit,
     "summary": _cmd_summary,
     "quantize": _cmd_quantize,
+    "serve": _cmd_serve,
 }
 
 

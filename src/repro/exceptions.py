@@ -17,6 +17,25 @@ class ValidationError(ReproError, ValueError):
     """An input (array, parameter, configuration) failed validation."""
 
 
+class SummaryFormatError(ValidationError):
+    """A serialized :class:`~repro.summary.DataSummary` archive is malformed.
+
+    Raised by :meth:`DataSummary.load` when an ``.npz`` file is truncated,
+    is missing required keys, stores a protocentroid set with the wrong
+    dtype or shape, or carries a header that contradicts the stored arrays.
+    The :attr:`field` attribute names the offending archive field so a
+    serving operator can tell *which* part of the artifact is broken, not
+    just that loading failed.  Subclasses :class:`ValidationError` so
+    pre-existing ``except ValidationError`` call sites keep working.
+    """
+
+    def __init__(self, message: str, *, field: str = None):
+        if field is not None:
+            message = f"{message} (field: {field!r})"
+        super().__init__(message)
+        self.field = field
+
+
 class NotFittedError(ReproError, RuntimeError):
     """An estimator was used before calling ``fit``."""
 
@@ -37,3 +56,40 @@ class DtypeFallbackWarning(UserWarning):
 
 class DatasetError(ReproError, KeyError):
     """A dataset name was not found in the registry or is misconfigured."""
+
+
+class ServingError(ReproError):
+    """Base class for errors raised by the :mod:`repro.serving` subsystem.
+
+    The HTTP front end maps each concrete subclass to a status code
+    (:data:`repro.serving.http.STATUS_BY_EXCEPTION`); anything outside this
+    hierarchy — and outside :class:`ValidationError` — surfaces as a 500.
+    """
+
+
+class ModelNotFoundError(ServingError, KeyError):
+    """A model name was not found in the serving registry.
+
+    Mapped to HTTP 404 by the serving front end.  Subclasses ``KeyError``
+    because the registry is dict-shaped.
+    """
+
+    def __str__(self) -> str:  # KeyError quotes its repr; keep the message
+        return self.args[0] if self.args else ""
+
+
+class RateLimitError(ServingError):
+    """The server's token-bucket rate limiter rejected a request.
+
+    Mapped to HTTP 429 with a ``Retry-After`` hint by the serving front
+    end.  :attr:`retry_after` is the bucket's estimate, in seconds, of when
+    capacity frees up.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 0.0):
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class BatcherStoppedError(ServingError, RuntimeError):
+    """A request was submitted to (or stranded in) a stopped micro-batcher."""

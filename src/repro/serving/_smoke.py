@@ -1,0 +1,116 @@
+"""End-to-end serving smoke check: ``python -m repro.serving._smoke``.
+
+The CI serving-smoke step (and any operator who wants a one-command
+sanity check) runs this module.  It exercises the *deployed* shape of the
+subsystem, not the in-process one:
+
+1. fit a small Khatri-Rao model and save its summary to a temp ``.npz``;
+2. spawn the real ``python -m repro.cli serve`` as a subprocess on a free
+   port (``--port 0``), parsing the bound port from its startup line;
+3. hit ``/healthz``, ``/v1/models``, ``assign``, ``inertia`` and
+   ``/metrics`` over real HTTP, checking shapes, the request-ID header
+   and that the metrics counted the traffic;
+4. cross-check the served labels against an in-process
+   ``summary.astype("float32").assign`` on the same rows;
+5. terminate the server and exit 0 on success, 1 with a reason on
+   failure.
+
+Stdlib + repro only, no pytest — callable from a bare CI step or a
+deploy pipeline's post-start hook.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+
+
+def _post(url: str, payload: dict) -> dict:
+    req = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(req, timeout=10) as resp:
+        assert resp.headers.get("X-Request-ID"), "missing X-Request-ID header"
+        return json.load(resp)
+
+
+def _get(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return json.load(resp)
+
+
+def main() -> int:
+    from repro import KhatriRaoKMeans, summarize
+    from repro.datasets import make_blobs
+
+    X, _ = make_blobs(400, n_clusters=9, random_state=0)
+    model = KhatriRaoKMeans((3, 3), n_init=3, random_state=0).fit(X)
+    summary = summarize(model, metadata={"fixture": "smoke"})
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = summary.save(Path(tmp) / "smoke.npz")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--model", f"smoke={path}",
+                "--port", "0", "--quiet", "--window-ms", "2",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            line = proc.stdout.readline().strip()
+            print(f"server: {line}")
+            if "http://" not in line:
+                rest = proc.stdout.read()
+                print(f"server failed to start:\n{rest}")
+                return 1
+            base = line.rsplit(" ", 1)[-1]
+
+            health = _get(f"{base}/healthz")
+            assert health["status"] == "ok" and health["models"] == 1, health
+
+            models = _get(f"{base}/v1/models")["models"]
+            assert [m["name"] for m in models] == ["smoke"], models
+            assert models[0]["dtype"] == "float32", models  # serving dtype
+
+            rows = X[:16].tolist()
+            assigned = _post(f"{base}/v1/models/smoke/assign", {"rows": rows})
+            expected = summary.astype("float32").assign(np.asarray(rows))
+            assert assigned["labels"] == expected.tolist(), (
+                "served labels disagree with the in-process float32 kernel"
+            )
+
+            inertia = _post(f"{base}/v1/models/smoke/inertia", {"rows": rows})
+            assert inertia["rows"] == 16 and inertia["inertia"] > 0, inertia
+
+            metrics = _get(f"{base}/metrics")
+            counters = metrics["counters"]
+            assert counters["requests_total"] >= 4, counters
+            assert counters["batched_requests_total"] >= 2, counters
+            assert "assign" in metrics["latency_seconds"], metrics
+            print(
+                f"smoke ok: {counters['requests_total']} requests, "
+                f"{counters['batches_total']} batch(es), labels verified"
+            )
+            return 0
+        finally:
+            proc.terminate()
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,363 @@
+"""Stdlib HTTP front end for the serving subsystem.
+
+Built on :mod:`http.server`'s ``ThreadingHTTPServer`` — one OS thread per
+connection, no dependency beyond the standard library, which keeps
+``install_requires`` at numpy+scipy.  Handler threads never touch a model
+directly: every scoring request goes through the
+:class:`~repro.serving.batcher.MicroBatcher`, whose single worker thread
+is the subsystem's concurrency control (and the source of the batching
+throughput win).
+
+Endpoints (all JSON; see ``docs/serving.md`` for the full schemas):
+
+====================================  ======================================
+``GET  /healthz``                     liveness + model count + uptime
+``GET  /metrics``                     :meth:`ServingMetrics.snapshot`
+``GET  /v1/models``                   descriptions of every model
+``GET  /v1/models/<name>``            one model's description
+``POST /v1/models/<name>/assign``     ``{"rows": [[...], ...]}`` → labels
+``POST /v1/models/<name>/inertia``    rows → summed squared distance
+``POST /v1/models/<name>/refine``     rows (+ ``n_steps``,
+                                      ``sample_weight``) → refit stats
+====================================  ======================================
+
+Cross-cutting behavior:
+
+* **Request IDs** — every response carries ``request_id`` in the body and
+  an ``X-Request-ID`` header; a client-supplied ``X-Request-ID`` is
+  echoed, otherwise one is generated.  The access log quotes it.
+* **Rate limiting** — an optional token bucket guards the ``/v1/`` tree
+  (``/healthz`` and ``/metrics`` stay unthrottled for probes); rejected
+  requests get 429 with ``Retry-After``.
+* **Error mapping** — exceptions map to status codes by type
+  (:data:`STATUS_BY_EXCEPTION`); the body is
+  ``{"error": {"type": ..., "message": ...}, "request_id": ...}``.
+  Anything not in the :mod:`repro.exceptions` hierarchy is a 500 with the
+  message suppressed (internal details never leak to clients).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import logging
+import re
+import secrets
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from ..exceptions import (
+    BatcherStoppedError,
+    ModelNotFoundError,
+    RateLimitError,
+    ServingError,
+    ValidationError,
+)
+from .batcher import MicroBatcher
+from .metrics import ServingMetrics
+from .ratelimit import TokenBucket
+from .registry import ModelRegistry
+
+__all__ = [
+    "EndpointNotFoundError",
+    "ServingServer",
+    "create_server",
+    "STATUS_BY_EXCEPTION",
+]
+
+logger = logging.getLogger("repro.serving")
+
+
+class EndpointNotFoundError(ServingError):
+    """No route matches the request's method and path (HTTP 404)."""
+
+
+#: Exception-type → HTTP status mapping, most-specific first (the handler
+#: walks this in order with ``isinstance``).
+STATUS_BY_EXCEPTION: Tuple[Tuple[type, int], ...] = (
+    (ModelNotFoundError, 404),
+    (EndpointNotFoundError, 404),
+    (RateLimitError, 429),
+    (BatcherStoppedError, 503),
+    (ValidationError, 400),       # includes SummaryFormatError
+    (ServingError, 500),
+)
+
+_MODEL_ROUTE = re.compile(r"^/v1/models/(?P<name>[^/]+)(?:/(?P<op>[^/]+))?$")
+
+
+def _status_for(exc: BaseException) -> int:
+    for exc_type, status in STATUS_BY_EXCEPTION:
+        if isinstance(exc, exc_type):
+            return status
+    return 500
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serving"
+
+    # ------------------------------------------------------------- plumbing
+    @property
+    def _metrics(self) -> ServingMetrics:
+        return self.server.metrics
+
+    def _request_id(self) -> str:
+        supplied = self.headers.get("X-Request-ID")
+        if supplied:
+            return supplied[:128]
+        return (
+            f"req-{next(self.server._request_counter):06d}-"
+            f"{secrets.token_hex(4)}"
+        )
+
+    def _send_json(self, status: int, payload: dict, request_id: str) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Request-ID", request_id)
+        if status == 429 and "retry_after" in payload.get("error", {}):
+            self.send_header(
+                "Retry-After", f"{payload['error']['retry_after']:.3f}"
+            )
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(
+        self, exc: BaseException, request_id: str
+    ) -> int:
+        status = _status_for(exc)
+        error = {"type": type(exc).__name__, "message": str(exc)}
+        if status == 500 and not isinstance(exc, ServingError):
+            # Never leak internals of unexpected failures to clients.
+            error = {"type": "InternalError", "message": "internal server error"}
+            logger.exception("unhandled error serving %s", self.path)
+        if isinstance(exc, RateLimitError):
+            error["retry_after"] = exc.retry_after
+        self._metrics.increment("errors_total")
+        self._metrics.increment(f"errors_{status}_total")
+        self._send_json(status, {"error": error, "request_id": request_id}, request_id)
+        return status
+
+    def log_message(self, fmt, *args):  # quiet the default stderr spam
+        if self.server.log_requests:
+            logger.info(fmt, *args)
+
+    def _access_log(self, method, status, request_id, elapsed, rows=None):
+        if self.server.log_requests:
+            logger.info(
+                "%s %s -> %d rid=%s rows=%s %.2fms",
+                method, self.path, status, request_id,
+                "-" if rows is None else rows, elapsed * 1e3,
+            )
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > self.server.max_body_bytes:
+            raise ValidationError(
+                f"request body of {length} bytes exceeds the "
+                f"{self.server.max_body_bytes}-byte limit"
+            )
+        if length == 0:
+            raise ValidationError("request body is required and must be JSON")
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"request body is not valid JSON: {exc}")
+        if not isinstance(body, dict):
+            raise ValidationError("request body must be a JSON object")
+        return body
+
+    def _rate_limit(self) -> None:
+        bucket = self.server.bucket
+        if bucket is not None:
+            try:
+                bucket.acquire_or_raise()
+            except RateLimitError:
+                self._metrics.increment("rate_limited_total")
+                raise
+
+    # --------------------------------------------------------------- routes
+    def do_GET(self):
+        self._handle("GET")
+
+    def do_POST(self):
+        self._handle("POST")
+
+    def _handle(self, method: str) -> None:
+        started = time.perf_counter()
+        request_id = self._request_id()
+        self._metrics.increment("requests_total")
+        rows = None
+        status = 500
+        try:
+            status, payload, rows = self._route(method)
+            payload["request_id"] = request_id
+            self._send_json(status, payload, request_id)
+        except (BrokenPipeError, ConnectionResetError):
+            return
+        except Exception as exc:
+            status = self._send_error_json(exc, request_id)
+        finally:
+            elapsed = time.perf_counter() - started
+            self._metrics.record_latency("http", elapsed)
+            self._access_log(method, status, request_id, elapsed, rows)
+
+    def _route(self, method: str):
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if method == "GET" and path == "/healthz":
+            return 200, {
+                "status": "ok",
+                "models": len(self.server.registry),
+                "batcher_running": self.server.batcher.running,
+                "uptime_seconds": round(
+                    time.monotonic() - self.server.started_at, 3
+                ),
+            }, None
+        if method == "GET" and path == "/metrics":
+            return 200, self._metrics.snapshot(), None
+        if path.startswith("/v1/"):
+            self._rate_limit()
+        if method == "GET" and path == "/v1/models":
+            return 200, {"models": self.server.registry.describe_all()}, None
+        match = _MODEL_ROUTE.match(path)
+        if match is None:
+            raise EndpointNotFoundError(f"no such endpoint: {method} {path}")
+        name, op = match.group("name"), match.group("op")
+        if op is None:
+            if method != "GET":
+                raise EndpointNotFoundError(f"no such endpoint: {method} {path}")
+            return 200, self.server.registry.describe(name), None
+        if method != "POST" or op not in ("assign", "inertia", "refine"):
+            raise EndpointNotFoundError(f"no such endpoint: {method} {path}")
+        return self._score(name, op)
+
+    def _score(self, name: str, op: str):
+        body = self._read_body()
+        if "rows" not in body:
+            raise ValidationError('request body must contain "rows"')
+        kwargs = {}
+        if op == "refine":
+            kwargs["n_steps"] = body.get("n_steps", 1)
+            if not isinstance(kwargs["n_steps"], int):
+                raise ValidationError(
+                    f"n_steps must be an integer, got {kwargs['n_steps']!r}"
+                )
+            if body.get("sample_weight") is not None:
+                kwargs["sample_weight"] = body["sample_weight"]
+        ticket = self.server.batcher.submit(op, name, body["rows"], **kwargs)
+        result = ticket.result(timeout=self.server.request_timeout)
+        payload = {"model": name}
+        if op == "assign":
+            payload["labels"] = result["labels"].tolist()
+        else:
+            payload.update(result)
+        return 200, payload, ticket.rows
+
+
+class ServingServer(ThreadingHTTPServer):
+    """The serving process: registry + micro-batcher + HTTP front end.
+
+    Construct via :func:`create_server`, then either :meth:`start` (serve
+    on a background thread — tests, notebooks, the README quickstart) or
+    :meth:`serve_forever` on the current thread (the CLI).  Always pair
+    with :meth:`stop`.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address,
+        registry: ModelRegistry,
+        *,
+        batcher: Optional[MicroBatcher] = None,
+        window_s: float = 0.005,
+        max_batch_requests: int = 256,
+        max_batch_rows: int = 8192,
+        rate_limit: Optional[float] = None,
+        burst: Optional[float] = None,
+        request_timeout: float = 30.0,
+        max_body_bytes: int = 16 * 1024 * 1024,
+        log_requests: bool = True,
+    ):
+        self.registry = registry
+        self.metrics = registry.metrics
+        self.batcher = batcher if batcher is not None else MicroBatcher(
+            registry,
+            window_s=window_s,
+            max_batch_requests=max_batch_requests,
+            max_batch_rows=max_batch_rows,
+            metrics=self.metrics,
+            start=False,
+        )
+        self.bucket = (
+            TokenBucket(rate_limit, burst) if rate_limit is not None else None
+        )
+        self.request_timeout = float(request_timeout)
+        self.max_body_bytes = int(max_body_bytes)
+        self.log_requests = bool(log_requests)
+        self.started_at = time.monotonic()
+        self._request_counter = itertools.count(1)
+        self._serve_thread: Optional[threading.Thread] = None
+        self._loop_entered = False
+        super().__init__(address, _Handler)
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> "ServingServer":
+        """Serve on a daemon thread; returns ``self`` for chaining."""
+        if not self.batcher.running:
+            self.batcher.start()
+        self.started_at = time.monotonic()
+        self._serve_thread = threading.Thread(
+            target=self.serve_forever, name="repro-serving-http", daemon=True
+        )
+        self._serve_thread.start()
+        return self
+
+    def serve_forever(self, poll_interval: float = 0.25) -> None:
+        if not self.batcher.running:
+            self.batcher.start()
+        self._loop_entered = True
+        super().serve_forever(poll_interval)
+
+    def stop(self) -> None:
+        """Shut down the HTTP loop, then drain and stop the batcher.
+
+        Safe on a server that never served: ``BaseServer.shutdown`` blocks
+        forever unless ``serve_forever`` ran, so it is skipped then.
+        """
+        if self._loop_entered:
+            self.shutdown()
+        if self._serve_thread is not None:
+            self._serve_thread.join(10.0)
+            self._serve_thread = None
+        self.server_close()
+        self.batcher.stop(flush=True)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def create_server(
+    registry: ModelRegistry,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    **kwargs,
+) -> ServingServer:
+    """Bind a :class:`ServingServer` (``port=0`` picks a free port).
+
+    Keyword arguments are forwarded to :class:`ServingServer`: batching
+    knobs (``window_s``, ``max_batch_requests``, ``max_batch_rows``),
+    ``rate_limit``/``burst`` (requests per second; ``None`` disables),
+    ``request_timeout``, ``max_body_bytes`` and ``log_requests``.
+    """
+    return ServingServer((host, port), registry, **kwargs)

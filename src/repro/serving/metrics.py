@@ -1,0 +1,158 @@
+"""Serving metrics: lock-protected counters and latency reservoirs.
+
+Everything the server knows about itself flows through one
+:class:`ServingMetrics` instance: request/error/batch counters and
+per-operation latency distributions.  The HTTP front end surfaces a
+:meth:`ServingMetrics.snapshot` at ``/metrics`` (see ``docs/serving.md``
+for the schema) and the access log quotes per-request latencies from the
+same clock.
+
+Design constraints, in order:
+
+* **Cheap on the hot path.**  Recording a sample is a lock acquire, two
+  integer adds and a ring-buffer store.  Percentiles are computed only at
+  snapshot time, from a copy taken under the lock.
+* **Thread-safe by construction.**  Handler threads, the batcher worker
+  and scrapers all touch the same instance; every public method holds the
+  instance lock.  There is no lock-free fast path to get subtly wrong.
+* **Bounded memory.**  Latency reservoirs are sliding windows over the
+  last ``capacity`` samples (default 4096) — a long-running server's
+  ``/metrics`` reflects recent behavior, not a mean over its whole life.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+__all__ = ["LatencyReservoir", "ServingMetrics", "percentiles"]
+
+#: The percentile levels every latency snapshot reports.
+PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def percentiles(samples: Iterable[float], levels=PERCENTILES) -> Dict[str, float]:
+    """p50/p95/p99 (by default) of ``samples`` as a ``{"p50": ...}`` dict.
+
+    Empty input yields an empty dict rather than NaNs so JSON consumers
+    can treat "no data yet" and "data" uniformly.
+    """
+    arr = np.asarray(list(samples), dtype=np.float64)
+    if arr.size == 0:
+        return {}
+    values = np.percentile(arr, levels)
+    return {f"p{level:g}": float(v) for level, v in zip(levels, values)}
+
+
+class LatencyReservoir:
+    """A sliding window of the most recent latency samples, in seconds.
+
+    A plain ring buffer, not reservoir sampling: serving dashboards want
+    *recent* tail latency, and a deterministic window keeps tests and
+    replays reproducible.  Not thread-safe on its own — callers hold the
+    :class:`ServingMetrics` lock (or their own).
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._buffer = np.zeros(capacity, dtype=np.float64)
+        self._next = 0
+        self._count = 0  # total ever recorded
+
+    def record(self, seconds: float) -> None:
+        self._buffer[self._next] = seconds
+        self._next = (self._next + 1) % self._buffer.shape[0]
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def values(self) -> np.ndarray:
+        """The windowed samples, oldest-first (a copy)."""
+        n = min(self._count, self._buffer.shape[0])
+        if self._count <= self._buffer.shape[0]:
+            return self._buffer[:n].copy()
+        return np.roll(self._buffer, -self._next)[:n].copy()
+
+    def snapshot(self) -> Dict[str, float]:
+        """Percentiles/mean/max over the window plus the lifetime count."""
+        values = self.values()
+        out: Dict[str, float] = {"count": self._count}
+        if values.size:
+            out.update(percentiles(values))
+            out["mean"] = float(values.mean())
+            out["max"] = float(values.max())
+        return out
+
+
+class ServingMetrics:
+    """All counters and latency distributions for one serving process.
+
+    Counter taxonomy (every key appears in the ``/metrics`` snapshot):
+
+    ``requests_total``            per-endpoint-kind HTTP request counts
+    ``errors_total``              per-status-code error counts
+    ``rate_limited_total``        requests rejected by the token bucket
+    ``batches_total``             kernel calls the batcher issued
+    ``batched_requests_total``    requests served through those calls
+    ``batch_size_max``            largest coalesced batch (requests)
+    ``batch_rows_total``          data rows pushed through the kernels
+    ``registry_evictions_total``  models evicted by the registry LRU
+
+    Latency reservoirs: one per batched operation (``assign``,
+    ``inertia``, ``refine`` — submit-to-result, the number a client
+    perceives) plus ``http`` (whole-request wall time in the front end)
+    and ``batch_exec`` (pure kernel time per coalesced call).
+    """
+
+    def __init__(self, reservoir_capacity: int = 4096):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._reservoirs: Dict[str, LatencyReservoir] = {}
+        self._reservoir_capacity = int(reservoir_capacity)
+
+    # ------------------------------------------------------------- counters
+    def increment(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + int(amount)
+
+    def record_max(self, name: str, value: int) -> None:
+        """Keep the running maximum of ``name`` (e.g. largest batch)."""
+        with self._lock:
+            if value > self._counters.get(name, 0):
+                self._counters[name] = int(value)
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    # -------------------------------------------------------------- latency
+    def record_latency(self, name: str, seconds: float) -> None:
+        with self._lock:
+            reservoir = self._reservoirs.get(name)
+            if reservoir is None:
+                reservoir = self._reservoirs[name] = LatencyReservoir(
+                    self._reservoir_capacity
+                )
+            reservoir.record(float(seconds))
+
+    def latency(self, name: str) -> Optional[Dict[str, float]]:
+        with self._lock:
+            reservoir = self._reservoirs.get(name)
+            return None if reservoir is None else reservoir.snapshot()
+
+    # ------------------------------------------------------------- snapshot
+    def snapshot(self) -> Dict:
+        """One JSON-serializable view of everything, for ``/metrics``."""
+        with self._lock:
+            return {
+                "counters": dict(sorted(self._counters.items())),
+                "latency_seconds": {
+                    name: reservoir.snapshot()
+                    for name, reservoir in sorted(self._reservoirs.items())
+                },
+            }

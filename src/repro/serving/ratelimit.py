@@ -1,0 +1,91 @@
+"""Token-bucket rate limiting for the serving front end.
+
+One :class:`TokenBucket` guards the whole server (the default wiring in
+:mod:`repro.serving.http`): tokens refill continuously at ``rate`` per
+second up to ``capacity``, and every admitted request spends one.  A
+request arriving at an empty bucket is rejected with
+:class:`~repro.exceptions.RateLimitError`, carrying the bucket's estimate
+of when a token frees up — the HTTP layer forwards it as ``Retry-After``.
+
+The clock is injectable so tests (and replay tooling) can drive the
+bucket deterministically without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from ..exceptions import RateLimitError
+
+__all__ = ["TokenBucket"]
+
+
+class TokenBucket:
+    """A thread-safe token bucket.
+
+    Parameters
+    ----------
+    rate : float
+        Sustained tokens (requests) per second.  Must be > 0.
+    capacity : float
+        Burst size: the maximum token balance.  Defaults to ``rate``
+        (one second of burst).
+    clock : callable
+        Monotonic-seconds source; defaults to :func:`time.monotonic`.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        capacity: float = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        self.rate = float(rate)
+        self.capacity = float(capacity if capacity is not None else rate)
+        if self.capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {self.capacity}")
+        self._clock = clock
+        self._tokens = self.capacity
+        self._last = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._last
+        if elapsed > 0:
+            self._tokens = min(self.capacity, self._tokens + elapsed * self.rate)
+            self._last = now
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Spend ``tokens`` if available; never blocks."""
+        with self._lock:
+            self._refill(self._clock())
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    def acquire_or_raise(self, tokens: float = 1.0) -> None:
+        """Spend ``tokens`` or raise :class:`RateLimitError` with a hint."""
+        with self._lock:
+            self._refill(self._clock())
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return
+            retry_after = (tokens - self._tokens) / self.rate
+        raise RateLimitError(
+            f"rate limit exceeded ({self.rate:g} req/s, burst "
+            f"{self.capacity:g}); retry in {retry_after:.3f}s",
+            retry_after=retry_after,
+        )
+
+    @property
+    def tokens(self) -> float:
+        """Current balance (refilled to now); for metrics and tests."""
+        with self._lock:
+            self._refill(self._clock())
+            return self._tokens

@@ -1,0 +1,174 @@
+"""Model registry: named, dtype-normalized, evictable fitted summaries.
+
+The registry is the serving layer's view of :class:`~repro.summary.DataSummary`
+artifacts: models enter by name — either as in-process objects
+(:meth:`ModelRegistry.register`) or from ``.npz`` files through the
+hardened :meth:`DataSummary.load <repro.summary.DataSummary.load>` path
+(:meth:`ModelRegistry.load`) — and are normalized to the registry's
+serving dtype on the way in.  **float32 is the default hot serving
+dtype**: it halves the payload and runs the serving-shaped kernels
+(PR 5's measured ≥1.4× assignment speedup / ~50% peak memory); pass
+``serving_dtype="native"`` to preserve whatever dtype each artifact was
+saved with.
+
+With ``max_models`` set, the registry is an LRU cache: registering past
+the cap evicts the least-recently-*served* model (every :meth:`get`
+refreshes recency) and counts the eviction in the shared metrics.
+
+All public methods are thread-safe; the HTTP handler threads and the
+batcher worker share one instance.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .._validation import check_dtype
+from ..exceptions import ModelNotFoundError, ValidationError
+from ..summary import DataSummary
+from .metrics import ServingMetrics
+
+__all__ = ["ModelRegistry"]
+
+
+class ModelRegistry:
+    """Thread-safe name → :class:`DataSummary` store with LRU eviction.
+
+    Parameters
+    ----------
+    serving_dtype : {"float32", "float64", "native"}
+        Dtype every model is cast to at registration.  ``"float32"``
+        (default) is the serving configuration; ``"native"`` disables the
+        cast.
+    max_models : int, optional
+        LRU capacity.  ``None`` (default) means unbounded.
+    metrics : ServingMetrics, optional
+        Shared metrics sink; evictions are counted there.
+    """
+
+    def __init__(
+        self,
+        *,
+        serving_dtype: str = "float32",
+        max_models: Optional[int] = None,
+        metrics: Optional[ServingMetrics] = None,
+    ):
+        if serving_dtype != "native":
+            serving_dtype = check_dtype(serving_dtype, name="serving_dtype")
+        self.serving_dtype = serving_dtype
+        if max_models is not None and int(max_models) < 1:
+            raise ValidationError(f"max_models must be >= 1, got {max_models}")
+        self.max_models = None if max_models is None else int(max_models)
+        self.metrics = metrics if metrics is not None else ServingMetrics()
+        self._lock = threading.RLock()
+        self._models: "OrderedDict[str, DataSummary]" = OrderedDict()
+
+    # -------------------------------------------------------------- loading
+    def _normalize(self, summary: DataSummary) -> DataSummary:
+        # astype() always copies (even to the same dtype), so a registered
+        # model never aliases the caller's object — refine() through the
+        # batcher mutates only the registry's copy.
+        target = summary.dtype if self.serving_dtype == "native" else self.serving_dtype
+        return summary.astype(target)
+
+    @staticmethod
+    def _check_name(name: str) -> str:
+        if not isinstance(name, str) or not name or "/" in name:
+            raise ValidationError(
+                f"model name must be a non-empty string without '/', got {name!r}"
+            )
+        return name
+
+    def register(self, name: str, summary: DataSummary) -> DataSummary:
+        """Add (or replace) ``name``, returning the stored, cast copy."""
+        name = self._check_name(name)
+        if not isinstance(summary, DataSummary):
+            raise ValidationError(
+                f"expected a DataSummary, got {type(summary).__name__}"
+            )
+        stored = self._normalize(summary)
+        with self._lock:
+            self._models.pop(name, None)
+            self._models[name] = stored
+            self._evict_over_capacity()
+        return stored
+
+    def load(self, name: str, path: Union[str, Path]) -> DataSummary:
+        """Load a ``.npz`` artifact from disk and register it as ``name``.
+
+        Goes through the hardened :meth:`DataSummary.load`, so a malformed
+        file raises :class:`~repro.exceptions.SummaryFormatError` naming
+        the offending field — nothing broken ever enters the registry.
+        """
+        return self.register(name, DataSummary.load(path))
+
+    def _evict_over_capacity(self) -> None:
+        while self.max_models is not None and len(self._models) > self.max_models:
+            self._models.popitem(last=False)
+            self.metrics.increment("registry_evictions_total")
+
+    # --------------------------------------------------------------- access
+    def get(self, name: str) -> DataSummary:
+        """The model named ``name``; refreshes its LRU recency."""
+        with self._lock:
+            try:
+                self._models.move_to_end(name)
+            except KeyError:
+                raise ModelNotFoundError(
+                    f"no model named {name!r} (available: "
+                    f"{sorted(self._models) or 'none'})"
+                ) from None
+            return self._models[name]
+
+    def evict(self, name: str) -> bool:
+        """Drop ``name``; returns whether it was present."""
+        with self._lock:
+            present = self._models.pop(name, None) is not None
+        if present:
+            self.metrics.increment("registry_evictions_total")
+        return present
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return list(self._models)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._models)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._models
+
+    # ------------------------------------------------------------ describe
+    def describe(self, name: str) -> Dict:
+        """JSON-shaped facts about one model (the ``/v1/models/<name>`` body)."""
+        summary = self.get(name)
+        return {
+            "name": name,
+            "cardinalities": list(summary.cardinalities),
+            "n_clusters": summary.n_clusters,
+            "n_features": summary.n_features,
+            "stored_vectors": summary.stored_vectors,
+            "dtype": summary.dtype.name,
+            "aggregator": summary.aggregator_name,
+            "compression_ratio": summary.compression_ratio(),
+            "metadata": summary.metadata,
+        }
+
+    def describe_all(self) -> List[Dict]:
+        """Stable-ordered descriptions of every model (``/v1/models``).
+
+        Snapshots names under the lock, then describes each outside it;
+        a model evicted mid-iteration is skipped rather than an error.
+        """
+        out = []
+        for name in sorted(self.names()):
+            try:
+                out.append(self.describe(name))
+            except ModelNotFoundError:
+                continue
+        return out

@@ -34,7 +34,7 @@ from .core._distances import assign_to_nearest
 from .core._factored import assign_factored
 from .core._update import resolve_update, update_protocentroids
 from .core.kmeans import _check_sample_weight
-from .exceptions import ValidationError
+from .exceptions import SummaryFormatError, ValidationError
 from .linalg import get_aggregator, khatri_rao_combine
 
 __all__ = ["DataSummary", "summarize"]
@@ -163,6 +163,21 @@ class DataSummary:
         labels, _ = self._nearest(X)
         return labels
 
+    def score(self, X):
+        """Labels *and* squared distances to the nearest centroid.
+
+        One kernel call serving both :meth:`assign` and :meth:`inertia`
+        shapes — the entry point the micro-batcher uses so a coalesced
+        batch pays for exactly one factored sweep.
+
+        Returns
+        -------
+        labels : (n,) int array
+        distances : (n,) array of squared distances
+        """
+        X = self._check_features(X)
+        return self._nearest(X)
+
     def inertia(self, X) -> float:
         """Squared reconstruction error of ``X`` under this summary."""
         X = self._check_features(X)
@@ -247,11 +262,18 @@ class DataSummary:
             f"protocentroids_{q}": theta
             for q, theta in enumerate(self.protocentroids)
         }
+        # cardinalities/n_features/dtype are redundant with the arrays on
+        # purpose: load() cross-checks them so a corrupted or hand-edited
+        # archive fails with the offending field named instead of producing
+        # a summary whose shape silently disagrees with what was saved.
         header = json.dumps(
             {
                 "format_version": _FORMAT_VERSION,
                 "aggregator": self.aggregator_name,
                 "num_sets": len(self.protocentroids),
+                "cardinalities": list(self.cardinalities),
+                "n_features": self.n_features,
+                "dtype": self.dtype.name,
                 "metadata": self.metadata,
             }
         )
@@ -262,24 +284,129 @@ class DataSummary:
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "DataSummary":
-        """Load a summary written by :meth:`save`."""
-        with np.load(Path(path)) as archive:
+        """Load a summary written by :meth:`save`.
+
+        A malformed archive — truncated file, missing keys, wrong dtypes,
+        cardinalities that contradict the header — raises
+        :class:`~repro.exceptions.SummaryFormatError` with the offending
+        field named, never a bare ``KeyError``/``ValueError`` out of the
+        ``.npz`` machinery.  This is the loader the serving registry trusts
+        with operator-supplied files.
+        """
+        path = Path(path)
+        try:
+            archive_ctx = np.load(path)
+        except FileNotFoundError:
+            raise
+        except Exception as exc:  # zipfile.BadZipFile, OSError, ValueError, ...
+            raise SummaryFormatError(
+                f"{path} is not a readable .npz archive: {exc}"
+            ) from exc
+        with archive_ctx as archive:
+            if "header" not in archive.files:
+                raise SummaryFormatError(
+                    f"{path} is not a DataSummary archive", field="header"
+                )
             try:
                 header = json.loads(bytes(archive["header"]).decode("utf-8"))
-            except KeyError:
-                raise ValidationError(f"{path} is not a DataSummary archive")
-            if header.get("format_version") != _FORMAT_VERSION:
-                raise ValidationError(
-                    f"unsupported summary format {header.get('format_version')!r}"
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise SummaryFormatError(
+                    f"{path} has an unparseable header: {exc}", field="header"
+                ) from exc
+            if not isinstance(header, dict):
+                raise SummaryFormatError(
+                    f"{path} header must be a JSON object, got "
+                    f"{type(header).__name__}", field="header",
                 )
-            protocentroids = [
-                archive[f"protocentroids_{q}"] for q in range(header["num_sets"])
-            ]
-            return cls(
-                protocentroids=protocentroids,
-                aggregator_name=header["aggregator"],
-                metadata=header.get("metadata", {}),
-            )
+            if header.get("format_version") != _FORMAT_VERSION:
+                raise SummaryFormatError(
+                    f"unsupported summary format "
+                    f"{header.get('format_version')!r}", field="format_version",
+                )
+            num_sets = header.get("num_sets")
+            if not isinstance(num_sets, int) or num_sets < 1:
+                raise SummaryFormatError(
+                    f"num_sets must be a positive integer, got {num_sets!r}",
+                    field="num_sets",
+                )
+            aggregator = header.get("aggregator")
+            if not isinstance(aggregator, str):
+                raise SummaryFormatError(
+                    f"aggregator must be a string, got {aggregator!r}",
+                    field="aggregator",
+                )
+            metadata = header.get("metadata", {})
+            if not isinstance(metadata, dict):
+                raise SummaryFormatError(
+                    f"metadata must be a JSON object, got "
+                    f"{type(metadata).__name__}", field="metadata",
+                )
+
+            protocentroids = []
+            for q in range(num_sets):
+                key = f"protocentroids_{q}"
+                if key not in archive.files:
+                    raise SummaryFormatError(
+                        f"{path} is missing protocentroid set {q} "
+                        f"(header says num_sets={num_sets})", field=key,
+                    )
+                theta = archive[key]
+                if theta.dtype not in (np.dtype(np.float64), np.dtype(np.float32)):
+                    raise SummaryFormatError(
+                        f"protocentroid set {q} has dtype {theta.dtype}, "
+                        "expected float32 or float64", field=key,
+                    )
+                if theta.ndim != 2 or theta.shape[0] < 1 or theta.shape[1] < 1:
+                    raise SummaryFormatError(
+                        f"protocentroid set {q} has shape {theta.shape}, "
+                        "expected a non-empty 2-D array", field=key,
+                    )
+                protocentroids.append(theta)
+
+            # Cross-check the redundant header fields (written since they
+            # were introduced; absent in older archives, which skip this).
+            cls._check_header_consistency(path, header, protocentroids)
+
+            try:
+                return cls(
+                    protocentroids=protocentroids,
+                    aggregator_name=aggregator,
+                    metadata=metadata,
+                )
+            except SummaryFormatError:
+                raise
+            except ValidationError as exc:
+                # e.g. sets disagreeing on n_features / dtype, or an
+                # unknown aggregator: re-raise typed, pointing at the file.
+                raise SummaryFormatError(f"{path}: {exc}") from exc
+
+    @staticmethod
+    def _check_header_consistency(path, header, protocentroids) -> None:
+        """Raise :class:`SummaryFormatError` if header and arrays disagree."""
+        cards = tuple(theta.shape[0] for theta in protocentroids)
+        if "cardinalities" in header:
+            declared = header["cardinalities"]
+            if not (
+                isinstance(declared, list) and tuple(declared) == cards
+            ):
+                raise SummaryFormatError(
+                    f"{path} header declares cardinalities {declared!r} but "
+                    f"the stored sets have {cards}", field="cardinalities",
+                )
+        if "n_features" in header:
+            m = protocentroids[0].shape[1]
+            if header["n_features"] != m:
+                raise SummaryFormatError(
+                    f"{path} header declares n_features={header['n_features']!r} "
+                    f"but set 0 stores {m} features", field="n_features",
+                )
+        if "dtype" in header:
+            stored = protocentroids[0].dtype.name
+            if header["dtype"] != stored:
+                raise SummaryFormatError(
+                    f"{path} header declares dtype {header['dtype']!r} but "
+                    f"the stored sets are {stored}", field="dtype",
+                )
 
 
 def summarize(model, *, metadata: Optional[Dict] = None) -> DataSummary:

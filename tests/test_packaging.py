@@ -1,0 +1,47 @@
+"""Packaging sanity: the sdist/wheel must ship every subpackage.
+
+``setup.py`` declares ``find_packages("src")``; these tests pin what that
+resolves to, so adding a package directory without an ``__init__.py`` (it
+would silently vanish from an sdist) or breaking the src layout fails the
+suite instead of shipping a broken artifact.
+"""
+
+from pathlib import Path
+
+import pytest
+
+setuptools = pytest.importorskip("setuptools")
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+_SRC = _REPO_ROOT / "src"
+
+
+def test_find_packages_includes_every_source_directory():
+    found = set(setuptools.find_packages(str(_SRC)))
+    expected = {
+        str(path.parent.relative_to(_SRC)).replace("/", ".")
+        for path in _SRC.glob("repro/**/__init__.py")
+    } | {"repro"}
+    assert found == expected
+
+
+def test_serving_subpackage_is_picked_up():
+    found = set(setuptools.find_packages(str(_SRC)))
+    assert "repro.serving" in found
+
+
+def test_no_orphan_modules_outside_a_package():
+    """Every .py under src/ must live in a directory with __init__.py —
+    otherwise find_packages would drop it from the distribution."""
+    orphans = [
+        str(path.relative_to(_SRC))
+        for path in _SRC.rglob("*.py")
+        if not (path.parent / "__init__.py").exists()
+    ]
+    assert not orphans, f"modules outside any package: {orphans}"
+
+
+def test_setup_py_declares_src_layout():
+    text = (_REPO_ROOT / "setup.py").read_text(encoding="utf-8")
+    assert 'package_dir={"": "src"}' in text
+    assert 'find_packages("src")' in text

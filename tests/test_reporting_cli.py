@@ -47,10 +47,11 @@ class TestReporting:
 class TestCLI:
     def test_parser_version_and_commands(self):
         parser = build_parser()
-        for command in ("datasets", "fit", "summary", "quantize"):
+        for command in ("datasets", "fit", "summary", "quantize", "serve"):
             args = parser.parse_args(
                 [command] + (["--dataset", "r15"] if command == "fit" else [])
                 + (["x.npz"] if command == "summary" else [])
+                + (["--model", "m=x.npz"] if command == "serve" else [])
             )
             assert args.command == command
 
@@ -82,3 +83,80 @@ class TestCLI:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCLIServe:
+    """The serve command's parser defaults and server construction.
+
+    serve_forever itself is exercised end-to-end by the smoke harness
+    (python -m repro.serving._smoke) and the CI serving-smoke step; here
+    we build the exact CLI-shaped server without entering the loop.
+    """
+
+    @pytest.fixture
+    def saved_summary(self, tmp_path):
+        from repro import KhatriRaoKMeans, summarize
+
+        X, _ = make_blobs(200, n_clusters=9, random_state=0)
+        model = KhatriRaoKMeans((3, 3), n_init=2, random_state=0).fit(X)
+        return summarize(model).save(tmp_path / "m.npz")
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--model", "m=x.npz"])
+        assert args.dtype == "float32"          # float32 is the hot path
+        assert args.window_ms == pytest.approx(5.0)
+        assert args.port == 8080
+        assert args.rate_limit is None
+
+    def test_build_server_from_args(self, saved_summary):
+        from repro.cli import build_server_from_args
+
+        args = build_parser().parse_args([
+            "serve", "--model", f"demo={saved_summary}",
+            "--port", "0", "--window-ms", "2", "--rate-limit", "100",
+            "--quiet",
+        ])
+        server = build_server_from_args(args)
+        try:
+            assert server.registry.get("demo").dtype == np.float32
+            assert server.batcher.window_s == pytest.approx(0.002)
+            assert server.bucket is not None
+            assert server.log_requests is False
+            assert server.server_address[1] > 0
+        finally:
+            server.stop()
+
+    def test_build_server_native_dtype(self, saved_summary):
+        from repro.cli import build_server_from_args
+
+        args = build_parser().parse_args([
+            "serve", "--model", f"demo={saved_summary}",
+            "--dtype", "native", "--port", "0", "--quiet",
+        ])
+        server = build_server_from_args(args)
+        try:
+            assert server.registry.get("demo").dtype == np.float64
+        finally:
+            server.stop()
+
+    def test_bad_model_spec_rejected(self, saved_summary):
+        from repro.cli import build_server_from_args
+        from repro.exceptions import ValidationError
+
+        args = build_parser().parse_args([
+            "serve", "--model", "just-a-name", "--port", "0",
+        ])
+        with pytest.raises(ValidationError, match="NAME=PATH"):
+            build_server_from_args(args)
+
+    def test_malformed_artifact_refused_at_startup(self, tmp_path):
+        from repro.cli import build_server_from_args
+        from repro.exceptions import SummaryFormatError
+
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"garbage")
+        args = build_parser().parse_args([
+            "serve", "--model", f"bad={bad}", "--port", "0",
+        ])
+        with pytest.raises(SummaryFormatError):
+            build_server_from_args(args)

@@ -1,0 +1,145 @@
+"""Tests for serving metrics (counters, latency reservoirs) and the
+token-bucket rate limiter (driven by a fake clock — no sleeping)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RateLimitError
+from repro.serving import LatencyReservoir, ServingMetrics, TokenBucket
+from repro.serving.metrics import percentiles
+
+
+class TestPercentiles:
+    def test_empty_is_empty(self):
+        assert percentiles([]) == {}
+
+    def test_known_values(self):
+        samples = np.arange(1, 101, dtype=float)  # 1..100
+        out = percentiles(samples)
+        assert out["p50"] == pytest.approx(50.5)
+        assert out["p95"] == pytest.approx(95.05)
+        assert out["p99"] == pytest.approx(99.01)
+
+
+class TestLatencyReservoir:
+    def test_snapshot_fields(self):
+        reservoir = LatencyReservoir(capacity=16)
+        for v in (0.1, 0.2, 0.3, 0.4):
+            reservoir.record(v)
+        snap = reservoir.snapshot()
+        assert snap["count"] == 4
+        assert snap["max"] == pytest.approx(0.4)
+        assert snap["mean"] == pytest.approx(0.25)
+        assert 0.1 <= snap["p50"] <= 0.4
+
+    def test_sliding_window_keeps_recent(self):
+        reservoir = LatencyReservoir(capacity=4)
+        for v in range(10):  # 0..9; window holds 6,7,8,9
+            reservoir.record(float(v))
+        values = reservoir.values()
+        np.testing.assert_array_equal(values, [6.0, 7.0, 8.0, 9.0])
+        snap = reservoir.snapshot()
+        assert snap["count"] == 10           # lifetime count survives
+        assert snap["p50"] == pytest.approx(7.5)
+
+    def test_empty_snapshot(self):
+        snap = LatencyReservoir().snapshot()
+        assert snap == {"count": 0}
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            LatencyReservoir(capacity=0)
+
+
+class TestServingMetrics:
+    def test_counters(self):
+        metrics = ServingMetrics()
+        metrics.increment("x")
+        metrics.increment("x", 4)
+        assert metrics.counter("x") == 5
+        assert metrics.counter("missing") == 0
+
+    def test_record_max(self):
+        metrics = ServingMetrics()
+        metrics.record_max("batch_size_max", 3)
+        metrics.record_max("batch_size_max", 7)
+        metrics.record_max("batch_size_max", 5)
+        assert metrics.counter("batch_size_max") == 7
+
+    def test_latency_and_snapshot_shape(self):
+        metrics = ServingMetrics()
+        metrics.record_latency("assign", 0.01)
+        metrics.record_latency("assign", 0.03)
+        metrics.increment("requests_total")
+        snap = metrics.snapshot()
+        assert snap["counters"] == {"requests_total": 1}
+        assert snap["latency_seconds"]["assign"]["count"] == 2
+        assert metrics.latency("missing") is None
+
+    def test_thread_safety_of_counters(self):
+        metrics = ServingMetrics()
+
+        def hammer():
+            for _ in range(1000):
+                metrics.increment("n")
+                metrics.record_latency("op", 0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert metrics.counter("n") == 8000
+        assert metrics.latency("op")["count"] == 8000
+
+
+class TestTokenBucket:
+    def test_burst_then_reject(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, capacity=3, clock=clock)
+        assert all(bucket.try_acquire() for _ in range(3))
+        assert not bucket.try_acquire()
+
+    def test_refills_over_time(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, capacity=3, clock=clock)
+        for _ in range(3):
+            bucket.try_acquire()
+        clock.advance(0.2)  # 2 tokens back
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_never_exceeds_capacity(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, capacity=2, clock=clock)
+        clock.advance(60.0)
+        assert bucket.tokens == pytest.approx(2.0)
+
+    def test_raise_carries_retry_after(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, capacity=1, clock=clock)
+        bucket.acquire_or_raise()
+        with pytest.raises(RateLimitError) as excinfo:
+            bucket.acquire_or_raise()
+        # One token at 2/s: back in half a second.
+        assert excinfo.value.retry_after == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, capacity=0.5)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds

@@ -1,0 +1,144 @@
+"""Tests for the serving model registry."""
+
+import numpy as np
+import pytest
+
+from repro import DataSummary, KhatriRaoKMeans, summarize
+from repro.datasets import make_blobs
+from repro.exceptions import (
+    ModelNotFoundError,
+    SummaryFormatError,
+    ValidationError,
+)
+from repro.serving import ModelRegistry, ServingMetrics
+
+
+@pytest.fixture(scope="module")
+def summary():
+    X, _ = make_blobs(200, n_clusters=9, random_state=0)
+    model = KhatriRaoKMeans((3, 3), n_init=2, random_state=0).fit(X)
+    return summarize(model, metadata={"dataset": "blobs"})
+
+
+class TestDtypeNormalization:
+    def test_default_serving_dtype_is_float32(self, summary):
+        registry = ModelRegistry()
+        assert summary.dtype == np.float64  # the artifact stays float64 ...
+        stored = registry.register("m", summary)
+        assert stored.dtype == np.float32   # ... the served copy is float32
+        assert registry.get("m").dtype == np.float32
+
+    def test_native_dtype_preserved(self, summary):
+        registry = ModelRegistry(serving_dtype="native")
+        assert registry.register("m", summary).dtype == np.float64
+
+    def test_explicit_float64(self, summary):
+        registry = ModelRegistry(serving_dtype="float64")
+        assert registry.register("m", summary.astype("float32")).dtype == np.float64
+
+    def test_bad_serving_dtype_rejected(self):
+        with pytest.raises(ValidationError):
+            ModelRegistry(serving_dtype="float16")
+
+    def test_registered_copy_is_independent(self, summary):
+        registry = ModelRegistry(serving_dtype="native")
+        stored = registry.register("m", summary)
+        stored.protocentroids[0][0, 0] += 100.0
+        assert summary.protocentroids[0][0, 0] != stored.protocentroids[0][0, 0]
+
+
+class TestAccess:
+    def test_get_unknown_raises_typed(self):
+        registry = ModelRegistry()
+        with pytest.raises(ModelNotFoundError, match="no model named 'ghost'"):
+            registry.get("ghost")
+
+    def test_contains_len_names(self, summary):
+        registry = ModelRegistry()
+        registry.register("a", summary)
+        registry.register("b", summary)
+        assert len(registry) == 2
+        assert "a" in registry and "c" not in registry
+        assert sorted(registry.names()) == ["a", "b"]
+
+    def test_evict(self, summary):
+        registry = ModelRegistry()
+        registry.register("a", summary)
+        assert registry.evict("a") is True
+        assert registry.evict("a") is False
+        assert "a" not in registry
+        assert registry.metrics.counter("registry_evictions_total") == 1
+
+    def test_bad_names_rejected(self, summary):
+        registry = ModelRegistry()
+        for bad in ("", "a/b", 7, None):
+            with pytest.raises(ValidationError):
+                registry.register(bad, summary)
+
+    def test_non_summary_rejected(self):
+        with pytest.raises(ValidationError):
+            ModelRegistry().register("m", np.ones((2, 3)))
+
+
+class TestLRU:
+    def test_eviction_order_respects_serving_recency(self, summary):
+        registry = ModelRegistry(max_models=2)
+        registry.register("a", summary)
+        registry.register("b", summary)
+        registry.get("a")            # refresh: "b" is now least-recently-served
+        registry.register("c", summary)
+        assert sorted(registry.names()) == ["a", "c"]
+        assert registry.metrics.counter("registry_evictions_total") == 1
+
+    def test_reregister_replaces_without_eviction(self, summary):
+        registry = ModelRegistry(max_models=2)
+        registry.register("a", summary)
+        registry.register("a", summary.astype("float32"))
+        assert len(registry) == 1
+        assert registry.metrics.counter("registry_evictions_total") == 0
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValidationError):
+            ModelRegistry(max_models=0)
+
+
+class TestLoadAndDescribe:
+    def test_load_from_disk(self, summary, tmp_path):
+        path = summary.save(tmp_path / "model.npz")
+        registry = ModelRegistry()
+        stored = registry.load("disk", path)
+        assert stored.dtype == np.float32
+        assert registry.get("disk").cardinalities == summary.cardinalities
+
+    def test_load_malformed_never_registers(self, tmp_path):
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"not a zip at all")
+        registry = ModelRegistry()
+        with pytest.raises(SummaryFormatError):
+            registry.load("bad", bad)
+        assert "bad" not in registry
+
+    def test_describe_shape(self, summary):
+        registry = ModelRegistry()
+        registry.register("m", summary)
+        info = registry.describe("m")
+        assert info["name"] == "m"
+        assert info["cardinalities"] == [3, 3]
+        assert info["n_clusters"] == 9
+        assert info["dtype"] == "float32"
+        assert info["metadata"]["dataset"] == "blobs"
+
+    def test_describe_all_sorted(self, summary):
+        registry = ModelRegistry()
+        for name in ("zeta", "alpha"):
+            registry.register(name, summary)
+        assert [m["name"] for m in registry.describe_all()] == ["alpha", "zeta"]
+
+
+def test_metrics_sink_is_shared():
+    metrics = ServingMetrics()
+    registry = ModelRegistry(metrics=metrics, max_models=1)
+    theta = [np.ones((2, 3))]
+    registry.register("a", DataSummary(theta))
+    registry.register("b", DataSummary(theta))
+    assert metrics.counter("registry_evictions_total") == 1

@@ -1,0 +1,89 @@
+"""Thread-safety regression: concurrent reads of one shared DataSummary.
+
+The contract the micro-batcher and the threaded HTTP server rely on:
+``DataSummary.assign``/``inertia``/``score`` are pure reads of the stored
+protocentroids, so concurrent calls from a thread pool on one shared
+summary return **bit-identical** results to serial calls — same labels
+array, ``==``-equal inertia float, at both serving dtypes.  If someone
+ever adds hidden mutable state (a cached centroid grid, a scratch
+buffer) to the read path, this suite is the tripwire.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro import KhatriRaoKMeans, summarize
+from repro.datasets import make_blobs
+
+N_THREADS = 8
+N_CALLS = 64
+
+
+@pytest.fixture(scope="module", params=["float64", "float32"])
+def shared(request):
+    X, _ = make_blobs(400, n_clusters=9, random_state=0)
+    model = KhatriRaoKMeans((3, 3), n_init=3, random_state=0).fit(X)
+    summary = summarize(model).astype(request.param)
+    # The serving request shape: many distinct small row blocks.
+    blocks = [X[i::N_CALLS][:40] for i in range(N_CALLS)]
+    return summary, blocks
+
+
+def test_concurrent_assign_bit_identical_to_serial(shared):
+    summary, blocks = shared
+    serial = [summary.assign(b) for b in blocks]
+    with ThreadPoolExecutor(max_workers=N_THREADS) as pool:
+        concurrent = list(pool.map(summary.assign, blocks))
+    for s, c in zip(serial, concurrent):
+        np.testing.assert_array_equal(s, c)
+        assert c.dtype == s.dtype
+
+
+def test_concurrent_inertia_bit_identical_to_serial(shared):
+    summary, blocks = shared
+    serial = [summary.inertia(b) for b in blocks]
+    with ThreadPoolExecutor(max_workers=N_THREADS) as pool:
+        concurrent = list(pool.map(summary.inertia, blocks))
+    for s, c in zip(serial, concurrent):
+        assert s == c  # exact float equality, not approx
+
+
+def test_concurrent_mixed_ops_bit_identical(shared):
+    """assign, inertia and score interleaved across the pool."""
+    summary, blocks = shared
+
+    def call(i):
+        block = blocks[i % len(blocks)]
+        if i % 3 == 0:
+            return ("assign", summary.assign(block))
+        if i % 3 == 1:
+            return ("inertia", summary.inertia(block))
+        labels, distances = summary.score(block)
+        return ("score", (labels, distances))
+
+    serial = [call(i) for i in range(2 * N_CALLS)]
+    with ThreadPoolExecutor(max_workers=N_THREADS) as pool:
+        concurrent = list(pool.map(call, range(2 * N_CALLS)))
+    for (op_s, s), (op_c, c) in zip(serial, concurrent):
+        assert op_s == op_c
+        if op_s == "assign":
+            np.testing.assert_array_equal(s, c)
+        elif op_s == "inertia":
+            assert s == c
+        else:
+            np.testing.assert_array_equal(s[0], c[0])
+            np.testing.assert_array_equal(s[1], c[1])
+
+
+def test_repeated_concurrent_rounds_are_stable(shared):
+    """Many rounds of the same concurrent workload agree round-to-round
+    (no order-dependent scratch state accumulating across calls)."""
+    summary, blocks = shared
+    with ThreadPoolExecutor(max_workers=N_THREADS) as pool:
+        first = list(pool.map(summary.assign, blocks))
+        for _ in range(3):
+            again = list(pool.map(summary.assign, blocks))
+            for a, b in zip(first, again):
+                np.testing.assert_array_equal(a, b)

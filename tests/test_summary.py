@@ -1,11 +1,14 @@
 """Tests for the portable DataSummary artifact."""
 
+import json
+import zipfile
+
 import numpy as np
 import pytest
 
 from repro import DataSummary, KhatriRaoKMeans, KMeans, summarize
 from repro.datasets import make_blobs
-from repro.exceptions import ValidationError
+from repro.exceptions import SummaryFormatError, ValidationError
 from repro.linalg import khatri_rao_combine
 
 
@@ -119,3 +122,184 @@ class TestPersistence:
         np.savez(foreign, data=np.ones(3))
         with pytest.raises(ValidationError):
             DataSummary.load(foreign)
+
+
+def _tampered_save(tmp_path, summary, *, header_patch=None, drop=(),
+                   replace_arrays=None, raw_header=None):
+    """Write ``summary`` as save() would, with targeted corruption."""
+    header = {
+        "format_version": 1,
+        "aggregator": summary.aggregator_name,
+        "num_sets": len(summary.protocentroids),
+        "cardinalities": list(summary.cardinalities),
+        "n_features": summary.n_features,
+        "dtype": summary.dtype.name,
+        "metadata": summary.metadata,
+    }
+    if header_patch:
+        header.update(header_patch)
+    arrays = {
+        f"protocentroids_{q}": theta
+        for q, theta in enumerate(summary.protocentroids)
+        if f"protocentroids_{q}" not in drop
+    }
+    if replace_arrays:
+        arrays.update(replace_arrays)
+    encoded = raw_header if raw_header is not None else json.dumps(header).encode()
+    path = tmp_path / "tampered.npz"
+    np.savez(path, header=np.frombuffer(encoded, dtype=np.uint8), **arrays)
+    return path
+
+
+class TestLoadHardening:
+    """Malformed archives must raise SummaryFormatError naming the field —
+    never a bare KeyError/ValueError out of the npz machinery."""
+
+    @pytest.fixture
+    def summary(self):
+        rng = np.random.default_rng(0)
+        return DataSummary(
+            [rng.normal(size=(3, 4)), rng.normal(size=(2, 4))],
+            metadata={"origin": "test"},
+        )
+
+    def test_truncated_file(self, summary, tmp_path):
+        path = summary.save(tmp_path / "model.npz")
+        blob = path.read_bytes()
+        truncated = tmp_path / "truncated.npz"
+        truncated.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(SummaryFormatError, match="not a readable"):
+            DataSummary.load(truncated)
+
+    def test_not_a_zip(self, tmp_path):
+        path = tmp_path / "noise.npz"
+        path.write_bytes(b"\x00\x01\x02 definitely not a zip")
+        with pytest.raises(SummaryFormatError):
+            DataSummary.load(path)
+
+    def test_missing_file_stays_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            DataSummary.load(tmp_path / "nope.npz")
+
+    def test_missing_header_names_field(self, tmp_path):
+        path = tmp_path / "headerless.npz"
+        np.savez(path, protocentroids_0=np.ones((2, 3)))
+        with pytest.raises(SummaryFormatError) as excinfo:
+            DataSummary.load(path)
+        assert excinfo.value.field == "header"
+
+    def test_unparseable_header(self, summary, tmp_path):
+        path = _tampered_save(tmp_path, summary, raw_header=b"{broken json")
+        with pytest.raises(SummaryFormatError) as excinfo:
+            DataSummary.load(path)
+        assert excinfo.value.field == "header"
+
+    def test_wrong_format_version(self, summary, tmp_path):
+        path = _tampered_save(
+            tmp_path, summary, header_patch={"format_version": 99}
+        )
+        with pytest.raises(SummaryFormatError) as excinfo:
+            DataSummary.load(path)
+        assert excinfo.value.field == "format_version"
+
+    def test_bad_num_sets(self, summary, tmp_path):
+        path = _tampered_save(
+            tmp_path, summary, header_patch={"num_sets": "two"}
+        )
+        with pytest.raises(SummaryFormatError) as excinfo:
+            DataSummary.load(path)
+        assert excinfo.value.field == "num_sets"
+
+    def test_missing_protocentroid_set_names_key(self, summary, tmp_path):
+        path = _tampered_save(tmp_path, summary, drop=("protocentroids_1",))
+        with pytest.raises(SummaryFormatError, match="missing protocentroid set 1") as excinfo:
+            DataSummary.load(path)
+        assert excinfo.value.field == "protocentroids_1"
+
+    def test_wrong_dtype_names_key(self, summary, tmp_path):
+        path = _tampered_save(
+            tmp_path, summary,
+            replace_arrays={"protocentroids_1": np.ones((2, 4), dtype=np.int64)},
+        )
+        with pytest.raises(SummaryFormatError, match="int64") as excinfo:
+            DataSummary.load(path)
+        assert excinfo.value.field == "protocentroids_1"
+
+    def test_wrong_ndim_names_key(self, summary, tmp_path):
+        path = _tampered_save(
+            tmp_path, summary,
+            replace_arrays={"protocentroids_0": np.ones(4)},
+        )
+        with pytest.raises(SummaryFormatError) as excinfo:
+            DataSummary.load(path)
+        assert excinfo.value.field == "protocentroids_0"
+
+    def test_mismatched_cardinalities_against_header(self, summary, tmp_path):
+        path = _tampered_save(
+            tmp_path, summary,
+            replace_arrays={"protocentroids_0": np.ones((5, 4))},
+        )
+        with pytest.raises(SummaryFormatError, match="cardinalities") as excinfo:
+            DataSummary.load(path)
+        assert excinfo.value.field == "cardinalities"
+
+    def test_mismatched_n_features_between_sets(self, summary, tmp_path):
+        # Consistent with the header's cardinalities but set 1 has the
+        # wrong feature count: caught as a typed error either way.
+        path = _tampered_save(
+            tmp_path, summary,
+            header_patch={"n_features": 4},
+            replace_arrays={"protocentroids_1": np.ones((2, 7))},
+        )
+        with pytest.raises(SummaryFormatError):
+            DataSummary.load(path)
+
+    def test_mismatched_header_dtype(self, summary, tmp_path):
+        path = _tampered_save(
+            tmp_path, summary, header_patch={"dtype": "float32"}
+        )
+        with pytest.raises(SummaryFormatError, match="float32") as excinfo:
+            DataSummary.load(path)
+        assert excinfo.value.field == "dtype"
+
+    def test_unknown_aggregator_is_typed(self, summary, tmp_path):
+        path = _tampered_save(
+            tmp_path, summary, header_patch={"aggregator": "median"}
+        )
+        with pytest.raises(SummaryFormatError, match="median"):
+            DataSummary.load(path)
+
+    def test_legacy_archive_without_redundant_header_loads(self, summary, tmp_path):
+        """Pre-hardening archives (no cardinalities/n_features/dtype in the
+        header) must keep loading: the cross-checks are opt-in by key."""
+        header = {
+            "format_version": 1,
+            "aggregator": "sum",
+            "num_sets": 2,
+            "metadata": {},
+        }
+        path = tmp_path / "legacy.npz"
+        np.savez(
+            path,
+            header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+            protocentroids_0=summary.protocentroids[0],
+            protocentroids_1=summary.protocentroids[1],
+        )
+        loaded = DataSummary.load(path)
+        assert loaded.cardinalities == summary.cardinalities
+
+    def test_every_error_is_also_validation_error(self, summary, tmp_path):
+        """SummaryFormatError must stay catchable as ValidationError so the
+        pre-hardening call sites keep working."""
+        path = _tampered_save(
+            tmp_path, summary, header_patch={"format_version": 99}
+        )
+        with pytest.raises(ValidationError):
+            DataSummary.load(path)
+
+    def test_zip_of_wrong_members(self, tmp_path):
+        path = tmp_path / "odd.npz"
+        with zipfile.ZipFile(path, "w") as zf:
+            zf.writestr("readme.txt", "hello")
+        with pytest.raises(SummaryFormatError):
+            DataSummary.load(path)
