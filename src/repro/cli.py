@@ -99,6 +99,29 @@ def build_parser() -> argparse.ArgumentParser:
                             "second of --rate-limit)")
     serve.add_argument("--max-models", type=int, default=None,
                        help="LRU registry capacity (default: unbounded)")
+    serve.add_argument("--request-deadline-ms", type=float, default=None,
+                       help="server-side default deadline per scoring "
+                            "request in milliseconds; expired requests "
+                            "are shed and answered 504 (default: none — "
+                            "clients may still send X-Deadline-Ms)")
+    serve.add_argument("--drain-timeout", type=float, default=10.0,
+                       help="graceful-shutdown budget in seconds: on "
+                            "SIGTERM/Ctrl-C the server stops accepting, "
+                            "drains in-flight work this long, then fails "
+                            "stragglers with typed 503s (default 10)")
+    serve.add_argument("--breaker-failures", type=int, default=5,
+                       help="consecutive kernel failures that open a "
+                            "(model, op) circuit breaker; 0 disables "
+                            "(default 5)")
+    serve.add_argument("--breaker-reset-s", type=float, default=30.0,
+                       help="seconds an open circuit waits before a "
+                            "half-open probe (default 30)")
+    serve.add_argument("--max-queue-requests", type=int, default=1024,
+                       help="per-(model, op) queue depth beyond which "
+                            "submits shed with 503 (default 1024)")
+    serve.add_argument("--max-pending-rows", type=int, default=131072,
+                       help="batcher-wide cap on queued data rows; "
+                            "overflow sheds with 503 (default 131072)")
     serve.add_argument("--quiet", action="store_true",
                        help="suppress the per-request access log")
     return parser
@@ -200,6 +223,12 @@ def build_server_from_args(args):
         window_s=args.window_ms / 1e3,
         max_batch_requests=args.max_batch_requests,
         max_batch_rows=args.max_batch_rows,
+        max_queue_requests=args.max_queue_requests,
+        max_pending_rows=args.max_pending_rows,
+        breaker_failures=args.breaker_failures or None,
+        breaker_reset_s=args.breaker_reset_s,
+        request_deadline_ms=args.request_deadline_ms,
+        drain_timeout_s=args.drain_timeout,
         rate_limit=args.rate_limit,
         burst=args.burst,
         log_requests=not args.quiet,
@@ -208,12 +237,23 @@ def build_server_from_args(args):
 
 def _cmd_serve(args) -> int:
     import logging
+    import signal
+    import threading
 
     logging.basicConfig(
         level=logging.WARNING if args.quiet else logging.INFO,
         format="%(asctime)s %(name)s %(message)s",
     )
     server = build_server_from_args(args)
+    # SIGTERM (the orchestrator's shutdown signal) takes the same graceful
+    # path as Ctrl-C: stop accepting, drain in-flight work within
+    # --drain-timeout, exit 0.  Signals only deliver to the main thread,
+    # which is exactly where serve_forever runs below.
+    def _sigterm(signum, frame):
+        raise SystemExit(0)
+
+    if threading.current_thread() is threading.main_thread():
+        signal.signal(signal.SIGTERM, _sigterm)
     names = ", ".join(server.registry.names())
     # The smoke harness and deploy scripts parse this line for the bound
     # port (--port 0 picks a free one), so keep it on stdout and flushed.
@@ -223,6 +263,9 @@ def _cmd_serve(args) -> int:
         server.serve_forever()
     except KeyboardInterrupt:
         print("shutting down", flush=True)
+    except SystemExit:
+        print(f"draining: SIGTERM received, finishing in-flight requests "
+              f"(budget {args.drain_timeout:g}s)", flush=True)
     finally:
         server.stop()
     return 0

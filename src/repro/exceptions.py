@@ -93,3 +93,58 @@ class RateLimitError(ServingError):
 
 class BatcherStoppedError(ServingError, RuntimeError):
     """A request was submitted to (or stranded in) a stopped micro-batcher."""
+
+
+class DeadlineExceededError(ServingError, TimeoutError):
+    """A request's deadline (or its caller's wait budget) expired.
+
+    Raised by :meth:`Ticket.result <repro.serving.batcher.Ticket.result>`
+    when the wait times out or the ticket's deadline passes, and attached
+    to tickets the batcher sheds at coalesce time because their deadline
+    already expired (running the kernel would produce a result nobody is
+    waiting for).  Mapped to HTTP 504 by the serving front end — a typed,
+    retriable signal instead of a masked 500.
+    """
+
+
+class RetriableServingError(ServingError):
+    """A request the server refused *now* but will likely accept later.
+
+    Carries :attr:`retry_after`, the server's estimate in seconds of when
+    retrying is worthwhile; the HTTP front end forwards it as a
+    ``Retry-After`` header alongside the 503.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 0.0):
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class OverloadedError(RetriableServingError):
+    """Backpressure: a queue-depth or pending-rows cap rejected a request.
+
+    Raised at submit time when a batch key's queue is at
+    ``max_queue_requests`` or the batcher-wide pending-row total is at
+    ``max_pending_rows`` — shedding load instead of growing queues (and
+    memory) without bound.  Mapped to HTTP 503 with ``Retry-After``.
+    """
+
+
+class CircuitOpenError(RetriableServingError):
+    """A ``(model, op)`` circuit breaker is open; the request fast-failed.
+
+    After ``failure_threshold`` consecutive kernel failures the breaker
+    opens and requests for that key are rejected *before* queuing, so a
+    poisoned model cannot monopolize the worker thread while healthy
+    models keep serving.  Mapped to HTTP 503 with ``Retry-After`` (the
+    time until the breaker admits a half-open probe).
+    """
+
+
+class WorkerCrashedError(ServingError, RuntimeError):
+    """The batcher worker died (or hung) while this request was in flight.
+
+    The watchdog fails stranded in-flight tickets with this error when it
+    detects a dead or hung worker, then restarts the worker — the request
+    itself is safe to retry.  Mapped to HTTP 503.
+    """

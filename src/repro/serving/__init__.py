@@ -20,6 +20,15 @@ artifacts into a long-running service.  Four layers, one module each:
 * :mod:`~repro.serving.metrics` — :class:`ServingMetrics`: lock-protected
   counters and p50/p95/p99 latency reservoirs, surfaced at ``/metrics``.
 
+The resilience layer rides alongside (PR 7): per-request deadlines and
+typed 504s, per-``(model, op)`` circuit breakers
+(:mod:`~repro.serving.resilience`), backpressure shedding, a watchdog
+that restarts a dead batcher worker, a deterministic fault-injection
+harness (:mod:`~repro.serving.faults`) certifying that every submitted
+ticket resolves, and a stdlib retry client
+(:mod:`~repro.serving.client`) that speaks the whole protocol
+(``Retry-After``, ``X-Deadline-Ms``, ``X-Request-ID``).
+
 Start a server from the command line with ``python -m repro.cli serve``;
 see ``docs/serving.md`` for endpoint schemas and batching semantics.
 
@@ -43,18 +52,26 @@ dtype('float32')
 """
 
 from .batcher import MicroBatcher, Ticket
+from .client import ServingClient, ServingClientError
 from .http import ServingServer, create_server
 from .metrics import LatencyReservoir, ServingMetrics
 from .ratelimit import TokenBucket
 from .registry import ModelRegistry
+from .resilience import BreakerBoard, CircuitBreaker, HealthTracker, Watchdog
 
 __all__ = [
+    "BreakerBoard",
+    "CircuitBreaker",
+    "HealthTracker",
     "LatencyReservoir",
     "MicroBatcher",
     "ModelRegistry",
+    "ServingClient",
+    "ServingClientError",
     "ServingMetrics",
     "ServingServer",
     "Ticket",
     "TokenBucket",
+    "Watchdog",
     "create_server",
 ]

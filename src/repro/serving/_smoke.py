@@ -8,12 +8,16 @@ subsystem, not the in-process one:
 2. spawn the real ``python -m repro.cli serve`` as a subprocess on a free
    port (``--port 0``), parsing the bound port from its startup line;
 3. hit ``/healthz``, ``/v1/models``, ``assign``, ``inertia`` and
-   ``/metrics`` over real HTTP, checking shapes, the request-ID header
-   and that the metrics counted the traffic;
+   ``/metrics`` through the package's own retry client
+   (:class:`~repro.serving.client.ServingClient` — the same
+   ``Retry-After``/``X-Request-ID`` protocol a production caller speaks),
+   checking shapes and that the metrics counted the traffic;
 4. cross-check the served labels against an in-process
    ``summary.astype("float32").assign`` on the same rows;
-5. terminate the server and exit 0 on success, 1 with a reason on
-   failure.
+5. send **SIGTERM with requests in flight** and verify the graceful
+   drain: every in-flight request gets a real response (200, or a typed
+   503 if it straggles past the drain budget) and the process exits 0;
+6. exit 0 on success, 1 with a reason on failure.
 
 Stdlib + repro only, no pytest — callable from a bare CI step or a
 deploy pipeline's post-start hook.
@@ -21,36 +25,21 @@ deploy pipeline's post-start hook.
 
 from __future__ import annotations
 
-import json
+import signal
 import subprocess
 import sys
 import tempfile
-import urllib.request
+import threading
+import time
 from pathlib import Path
 
 import numpy as np
 
 
-def _post(url: str, payload: dict) -> dict:
-    req = urllib.request.Request(
-        url,
-        data=json.dumps(payload).encode("utf-8"),
-        headers={"Content-Type": "application/json"},
-        method="POST",
-    )
-    with urllib.request.urlopen(req, timeout=10) as resp:
-        assert resp.headers.get("X-Request-ID"), "missing X-Request-ID header"
-        return json.load(resp)
-
-
-def _get(url: str) -> dict:
-    with urllib.request.urlopen(url, timeout=10) as resp:
-        return json.load(resp)
-
-
 def main() -> int:
     from repro import KhatriRaoKMeans, summarize
     from repro.datasets import make_blobs
+    from repro.serving.client import ServingClient, ServingClientError
 
     X, _ = make_blobs(400, n_clusters=9, random_state=0)
     model = KhatriRaoKMeans((3, 3), n_init=3, random_state=0).fit(X)
@@ -62,7 +51,11 @@ def main() -> int:
             [
                 sys.executable, "-m", "repro.cli", "serve",
                 "--model", f"smoke={path}",
-                "--port", "0", "--quiet", "--window-ms", "2",
+                # A wide window so the SIGTERM volley below is still
+                # queued (in flight) when the signal lands — the drain
+                # must flush it, not get lucky with an empty batcher.
+                "--port", "0", "--quiet", "--window-ms", "300",
+                "--drain-timeout", "5",
             ],
             stdout=subprocess.PIPE,
             stderr=subprocess.STDOUT,
@@ -76,40 +69,105 @@ def main() -> int:
                 print(f"server failed to start:\n{rest}")
                 return 1
             base = line.rsplit(" ", 1)[-1]
+            client = ServingClient(base, seed=0)
 
-            health = _get(f"{base}/healthz")
+            health = client.healthz()
             assert health["status"] == "ok" and health["models"] == 1, health
+            assert health["worker_restarts"] == 0, health
 
-            models = _get(f"{base}/v1/models")["models"]
+            models = client.models()
             assert [m["name"] for m in models] == ["smoke"], models
             assert models[0]["dtype"] == "float32", models  # serving dtype
 
-            rows = X[:16].tolist()
-            assigned = _post(f"{base}/v1/models/smoke/assign", {"rows": rows})
+            rows = X[:16]
+            assigned = client.assign("smoke", rows, request_id="smoke-assign")
+            assert assigned["request_id"] == "smoke-assign", assigned
             expected = summary.astype("float32").assign(np.asarray(rows))
             assert assigned["labels"] == expected.tolist(), (
                 "served labels disagree with the in-process float32 kernel"
             )
 
-            inertia = _post(f"{base}/v1/models/smoke/inertia", {"rows": rows})
+            inertia = client.inertia("smoke", rows, deadline_ms=10_000)
             assert inertia["rows"] == 16 and inertia["inertia"] > 0, inertia
 
-            metrics = _get(f"{base}/metrics")
+            metrics = client.metrics()
             counters = metrics["counters"]
             assert counters["requests_total"] >= 4, counters
             assert counters["batched_requests_total"] >= 2, counters
             assert "assign" in metrics["latency_seconds"], metrics
+
+            # ------------------------------------------- SIGTERM drain
+            # Fire a volley of requests and SIGTERM the server while they
+            # are (likely) in flight.  The graceful-drain contract: every
+            # request gets a real response — 200 if it drained, a typed
+            # 503 if it arrived after shutdown began — and the process
+            # exits 0.  No retries: a drain-time 503 is an expected
+            # outcome here, not a failure to paper over.
+            inflight_client = ServingClient(base, max_retries=0)
+            outcomes = []
+            lock = threading.Lock()
+
+            def fire(i):
+                try:
+                    result = inflight_client.assign("smoke", X[:64])
+                    outcome = ("ok", len(result["labels"]))
+                except ServingClientError as exc:
+                    outcome = ("error", exc.status, exc.error_type)
+                except Exception as exc:  # connection torn down mid-request
+                    outcome = ("refused", type(exc).__name__)
+                with lock:
+                    outcomes.append(outcome)
+
+            threads = [
+                threading.Thread(target=fire, args=(i,)) for i in range(8)
+            ]
+            for t in threads:
+                t.start()
+            # Let the volley connect and enqueue (the 300 ms batching
+            # window holds it open), then pull the trigger mid-flight.
+            time.sleep(0.25)
+            proc.send_signal(signal.SIGTERM)
+            for t in threads:
+                t.join(timeout=20)
+            assert not any(t.is_alive() for t in threads), (
+                "a request hung through graceful shutdown"
+            )
+            returncode = proc.wait(timeout=20)
+            assert returncode == 0, (
+                f"serve exited {returncode} on SIGTERM (want graceful 0)"
+            )
+            assert len(outcomes) == 8, outcomes
+            served = sum(1 for o in outcomes if o[0] == "ok")
+            typed_503 = sum(
+                1 for o in outcomes if o[0] == "error" and o[1] in (503, 504)
+            )
+            # Connection-level failures (refused/reset, client error with
+            # no status) mean the request never reached a live server —
+            # also an acceptable drain outcome.
+            refused = sum(
+                1 for o in outcomes
+                if o[0] == "refused" or (o[0] == "error" and o[1] is None)
+            )
+            assert served + typed_503 + refused == 8, outcomes
+            assert all(o == ("ok", 64) for o in outcomes if o[0] == "ok")
+            assert served + typed_503 >= 1, (
+                f"no request was actually in flight at SIGTERM: {outcomes}"
+            )
+
             print(
                 f"smoke ok: {counters['requests_total']} requests, "
-                f"{counters['batches_total']} batch(es), labels verified"
+                f"{counters['batches_total']} batch(es), labels verified; "
+                f"SIGTERM drain: {served} served / {typed_503} typed-503 / "
+                f"{refused} refused, exit 0"
             )
             return 0
         finally:
-            proc.terminate()
-            try:
-                proc.wait(timeout=10)
-            except subprocess.TimeoutExpired:
-                proc.kill()
+            if proc.poll() is None:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
 
 
 if __name__ == "__main__":

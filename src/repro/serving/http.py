@@ -34,6 +34,12 @@ Cross-cutting behavior:
   ``{"error": {"type": ..., "message": ...}, "request_id": ...}``.
   Anything not in the :mod:`repro.exceptions` hierarchy is a 500 with the
   message suppressed (internal details never leak to clients).
+* **Failure model** — scoring requests may carry an ``X-Deadline-Ms``
+  header (expiry → typed 504, and the batcher sheds the dead work);
+  open circuit breakers and backpressure shed with 503 + ``Retry-After``;
+  a watchdog restarts a dead batcher worker and ``/healthz`` reports the
+  ``ok``/``degraded``/``draining`` state machine (503 while draining).
+  See ``docs/serving.md`` §"Operating under failure".
 """
 
 from __future__ import annotations
@@ -50,15 +56,21 @@ from typing import Optional, Tuple
 
 from ..exceptions import (
     BatcherStoppedError,
+    CircuitOpenError,
+    DeadlineExceededError,
     ModelNotFoundError,
+    OverloadedError,
     RateLimitError,
+    RetriableServingError,
     ServingError,
     ValidationError,
+    WorkerCrashedError,
 )
 from .batcher import MicroBatcher
 from .metrics import ServingMetrics
 from .ratelimit import TokenBucket
 from .registry import ModelRegistry
+from .resilience import HealthTracker, Watchdog
 
 __all__ = [
     "EndpointNotFoundError",
@@ -75,11 +87,19 @@ class EndpointNotFoundError(ServingError):
 
 
 #: Exception-type → HTTP status mapping, most-specific first (the handler
-#: walks this in order with ``isinstance``).
+#: walks this in order with ``isinstance``).  Every retriable condition
+#: (open breaker, shed load, crashed worker, draining server) is a typed
+#: 503 and the deadline family is 504 — clients can key retry policy off
+#: the status class without parsing messages.
 STATUS_BY_EXCEPTION: Tuple[Tuple[type, int], ...] = (
     (ModelNotFoundError, 404),
     (EndpointNotFoundError, 404),
     (RateLimitError, 429),
+    (DeadlineExceededError, 504),
+    (CircuitOpenError, 503),
+    (OverloadedError, 503),
+    (RetriableServingError, 503),
+    (WorkerCrashedError, 503),
     (BatcherStoppedError, 503),
     (ValidationError, 400),       # includes SummaryFormatError
     (ServingError, 500),
@@ -119,7 +139,10 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
         self.send_header("X-Request-ID", request_id)
-        if status == 429 and "retry_after" in payload.get("error", {}):
+        # 429/503 rejections carry the server's retry hint as a header
+        # too, so dumb clients (and proxies) can honor it without parsing
+        # the body.
+        if status in (429, 503) and "retry_after" in payload.get("error", {}):
             self.send_header(
                 "Retry-After", f"{payload['error']['retry_after']:.3f}"
             )
@@ -135,8 +158,9 @@ class _Handler(BaseHTTPRequestHandler):
             # Never leak internals of unexpected failures to clients.
             error = {"type": "InternalError", "message": "internal server error"}
             logger.exception("unhandled error serving %s", self.path)
-        if isinstance(exc, RateLimitError):
-            error["retry_after"] = exc.retry_after
+        retry_after = getattr(exc, "retry_after", None)
+        if retry_after is not None:
+            error["retry_after"] = float(retry_after)
         self._metrics.increment("errors_total")
         self._metrics.increment(f"errors_{status}_total")
         self._send_json(status, {"error": error, "request_id": request_id}, request_id)
@@ -207,17 +231,59 @@ class _Handler(BaseHTTPRequestHandler):
             self._metrics.record_latency("http", elapsed)
             self._access_log(method, status, request_id, elapsed, rows)
 
+    def _deadline(self) -> Optional[float]:
+        """Absolute monotonic deadline for this request, or ``None``.
+
+        ``X-Deadline-Ms`` (client budget) and the server-side default
+        (``request_deadline_ms``) compose by taking the *tighter* of the
+        two — a client may shorten its budget, never extend the server's.
+        """
+        header = self.headers.get("X-Deadline-Ms")
+        default_ms = self.server.request_deadline_ms
+        if header is None:
+            ms = default_ms
+        else:
+            try:
+                ms = float(header)
+            except ValueError:
+                raise ValidationError(
+                    f"X-Deadline-Ms must be a number of milliseconds, "
+                    f"got {header!r}"
+                )
+            if not ms > 0:
+                raise ValidationError(
+                    f"X-Deadline-Ms must be > 0, got {header!r}"
+                )
+            if default_ms is not None:
+                ms = min(ms, default_ms)
+        if ms is None:
+            return None
+        return time.monotonic() + ms / 1e3
+
     def _route(self, method: str):
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         if method == "GET" and path == "/healthz":
-            return 200, {
-                "status": "ok",
+            health = self.server.health.snapshot()
+            payload = {
+                "status": health["state"],
                 "models": len(self.server.registry),
                 "batcher_running": self.server.batcher.running,
+                "worker_restarts": self.server.metrics.counter(
+                    "worker_restarts_total"
+                ),
+                "open_breakers": (
+                    []
+                    if self.server.batcher.breakers is None
+                    else self.server.batcher.breakers.open_keys()
+                ),
+                "last_incident": health["last_incident"],
                 "uptime_seconds": round(
                     time.monotonic() - self.server.started_at, 3
                 ),
-            }, None
+            }
+            # A draining server tells its load balancer to stop sending
+            # traffic; ok and degraded both keep admitting requests.
+            return (503 if health["state"] == "draining" else 200), payload, None
         if method == "GET" and path == "/metrics":
             return 200, self._metrics.snapshot(), None
         if path.startswith("/v1/"):
@@ -249,7 +315,13 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             if body.get("sample_weight") is not None:
                 kwargs["sample_weight"] = body["sample_weight"]
-        ticket = self.server.batcher.submit(op, name, body["rows"], **kwargs)
+        ticket = self.server.batcher.submit(
+            op, name, body["rows"], deadline=self._deadline(), **kwargs
+        )
+        # The ticket enforces its own deadline inside result(); the
+        # server-wide request_timeout is the backstop when no deadline is
+        # set.  Either expiry raises DeadlineExceededError (504) and
+        # cancels the ticket so the batcher sheds the dead work.
         result = ticket.result(timeout=self.server.request_timeout)
         payload = {"model": name}
         if op == "assign":
@@ -280,9 +352,18 @@ class ServingServer(ThreadingHTTPServer):
         window_s: float = 0.005,
         max_batch_requests: int = 256,
         max_batch_rows: int = 8192,
+        max_queue_requests: int = 1024,
+        max_pending_rows: int = 131072,
+        breaker_failures: Optional[int] = 5,
+        breaker_reset_s: float = 30.0,
         rate_limit: Optional[float] = None,
         burst: Optional[float] = None,
         request_timeout: float = 30.0,
+        request_deadline_ms: Optional[float] = None,
+        drain_timeout_s: float = 10.0,
+        watchdog_interval_s: float = 0.5,
+        hang_timeout_s: Optional[float] = None,
+        health_recovery_s: float = 5.0,
         max_body_bytes: int = 16 * 1024 * 1024,
         log_requests: bool = True,
     ):
@@ -293,6 +374,10 @@ class ServingServer(ThreadingHTTPServer):
             window_s=window_s,
             max_batch_requests=max_batch_requests,
             max_batch_rows=max_batch_rows,
+            max_queue_requests=max_queue_requests,
+            max_pending_rows=max_pending_rows,
+            breaker_failures=breaker_failures,
+            breaker_reset_s=breaker_reset_s,
             metrics=self.metrics,
             start=False,
         )
@@ -300,19 +385,59 @@ class ServingServer(ThreadingHTTPServer):
             TokenBucket(rate_limit, burst) if rate_limit is not None else None
         )
         self.request_timeout = float(request_timeout)
+        self.request_deadline_ms = (
+            None if request_deadline_ms is None else float(request_deadline_ms)
+        )
+        self.drain_timeout_s = float(drain_timeout_s)
+        # A hung-kernel verdict defaults to the request timeout: by then
+        # every waiter has already given up, so failing the in-flight
+        # tickets loses nothing.
+        self.watchdog = Watchdog(
+            self.batcher,
+            interval_s=watchdog_interval_s,
+            hang_timeout_s=(
+                self.request_timeout if hang_timeout_s is None else hang_timeout_s
+            ),
+            health=HealthTracker(recovery_s=health_recovery_s),
+            metrics=self.metrics,
+        )
+        self.health = self.watchdog.health
         self.max_body_bytes = int(max_body_bytes)
         self.log_requests = bool(log_requests)
         self.started_at = time.monotonic()
         self._request_counter = itertools.count(1)
         self._serve_thread: Optional[threading.Thread] = None
         self._loop_entered = False
+        self._handler_threads: list = []
+        self._handler_lock = threading.Lock()
         super().__init__(address, _Handler)
+
+    def process_request(self, request, client_address):
+        # ThreadingMixIn only tracks (and ``server_close``-joins)
+        # *non-daemon* handler threads.  We want daemon handlers — a
+        # wedged connection must never pin the process open — but the
+        # graceful drain still has to wait for live ones, or interpreter
+        # teardown kills them mid-response.  So track them ourselves and
+        # join with a deadline in :meth:`stop`.
+        thread = threading.Thread(
+            target=self.process_request_thread,
+            args=(request, client_address),
+            name="repro-serving-handler",
+            daemon=True,
+        )
+        with self._handler_lock:
+            self._handler_threads = [
+                t for t in self._handler_threads if t.is_alive()
+            ]
+            self._handler_threads.append(thread)
+        thread.start()
 
     # ------------------------------------------------------------ lifecycle
     def start(self) -> "ServingServer":
         """Serve on a daemon thread; returns ``self`` for chaining."""
         if not self.batcher.running:
             self.batcher.start()
+        self.watchdog.start()
         self.started_at = time.monotonic()
         self._serve_thread = threading.Thread(
             target=self.serve_forever, name="repro-serving-http", daemon=True
@@ -323,22 +448,40 @@ class ServingServer(ThreadingHTTPServer):
     def serve_forever(self, poll_interval: float = 0.25) -> None:
         if not self.batcher.running:
             self.batcher.start()
+        self.watchdog.start()
         self._loop_entered = True
         super().serve_forever(poll_interval)
 
     def stop(self) -> None:
-        """Shut down the HTTP loop, then drain and stop the batcher.
+        """Graceful shutdown: stop accepting, drain, then close.
+
+        Order matters: health flips to ``draining`` first (``/healthz``
+        goes 503 so load balancers steer away), the accept loop stops,
+        then the batcher flushes its backlog within ``drain_timeout_s`` —
+        in-flight HTTP handlers blocked on tickets complete (or get typed
+        503s past the deadline) — then the still-live handler threads are
+        joined with the remaining drain budget (they are daemons; without
+        this join, interpreter teardown would kill them mid-response) and
+        the sockets are closed.
 
         Safe on a server that never served: ``BaseServer.shutdown`` blocks
         forever unless ``serve_forever`` ran, so it is skipped then.
         """
+        deadline = time.monotonic() + self.drain_timeout_s
+        self.health.start_draining()
+        self.watchdog.stop()
         if self._loop_entered:
             self.shutdown()
         if self._serve_thread is not None:
             self._serve_thread.join(10.0)
             self._serve_thread = None
+        self.batcher.stop(flush=True, timeout=self.drain_timeout_s)
+        with self._handler_lock:
+            handlers = [t for t in self._handler_threads if t.is_alive()]
+            self._handler_threads = []
+        for thread in handlers:
+            thread.join(max(deadline - time.monotonic(), 0.5))
         self.server_close()
-        self.batcher.stop(flush=True)
 
     @property
     def url(self) -> str:
@@ -357,7 +500,13 @@ def create_server(
 
     Keyword arguments are forwarded to :class:`ServingServer`: batching
     knobs (``window_s``, ``max_batch_requests``, ``max_batch_rows``),
-    ``rate_limit``/``burst`` (requests per second; ``None`` disables),
-    ``request_timeout``, ``max_body_bytes`` and ``log_requests``.
+    resilience knobs (``max_queue_requests``/``max_pending_rows``
+    backpressure, ``breaker_failures``/``breaker_reset_s`` circuit
+    breakers, ``request_deadline_ms`` default deadline,
+    ``drain_timeout_s`` graceful-shutdown budget,
+    ``watchdog_interval_s``/``hang_timeout_s``/``health_recovery_s``
+    self-healing), ``rate_limit``/``burst`` (requests per second;
+    ``None`` disables), ``request_timeout``, ``max_body_bytes`` and
+    ``log_requests``.
     """
     return ServingServer((host, port), registry, **kwargs)

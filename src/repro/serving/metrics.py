@@ -103,6 +103,18 @@ class ServingMetrics:
     ``batch_rows_total``          data rows pushed through the kernels
     ``registry_evictions_total``  models evicted by the registry LRU
 
+    Resilience counters (PR 7 — the failure model's observable surface):
+
+    ``deadline_expired_total``    tickets shed at coalesce time because
+                                  their deadline passed (or the caller
+                                  cancelled after a result timeout)
+    ``shed_overload_total``       submits rejected by backpressure caps
+                                  (queue depth / pending rows)
+    ``breaker_open_total``        circuit-open transitions
+    ``breaker_fastfail_total``    submits rejected while a circuit is open
+    ``worker_restarts_total``     dead batcher workers the watchdog revived
+    ``worker_hangs_total``        hung batches the watchdog gave up on
+
     Latency reservoirs: one per batched operation (``assign``,
     ``inertia``, ``refine`` — submit-to-result, the number a client
     perceives) plus ``http`` (whole-request wall time in the front end)

@@ -24,7 +24,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Union
 
 from .._validation import check_dtype
 from ..exceptions import ModelNotFoundError, ValidationError
@@ -65,6 +65,26 @@ class ModelRegistry:
         self.metrics = metrics if metrics is not None else ServingMetrics()
         self._lock = threading.RLock()
         self._models: "OrderedDict[str, DataSummary]" = OrderedDict()
+        self._listeners: List[Callable[[str, str], None]] = []
+
+    # ------------------------------------------------------------ listeners
+    def add_listener(self, listener: Callable[[str, str], None]) -> None:
+        """Subscribe to registry events.
+
+        ``listener(event, name)`` is called outside the registry lock
+        with ``event`` in ``{"register", "evict"}`` — the batcher uses
+        this to reset a model's circuit breakers when its artifact
+        changes (a fresh model deserves a clean failure slate).
+        """
+        self._listeners.append(listener)
+
+    def _notify(self, event: str, names) -> None:
+        for name in names:
+            for listener in self._listeners:
+                try:
+                    listener(event, name)
+                except Exception:  # a listener must never break serving
+                    pass
 
     # -------------------------------------------------------------- loading
     def _normalize(self, summary: DataSummary) -> DataSummary:
@@ -93,7 +113,9 @@ class ModelRegistry:
         with self._lock:
             self._models.pop(name, None)
             self._models[name] = stored
-            self._evict_over_capacity()
+            evicted = self._evict_over_capacity()
+        self._notify("register", [name])
+        self._notify("evict", evicted)
         return stored
 
     def load(self, name: str, path: Union[str, Path]) -> DataSummary:
@@ -105,10 +127,13 @@ class ModelRegistry:
         """
         return self.register(name, DataSummary.load(path))
 
-    def _evict_over_capacity(self) -> None:
+    def _evict_over_capacity(self) -> List[str]:
+        evicted: List[str] = []
         while self.max_models is not None and len(self._models) > self.max_models:
-            self._models.popitem(last=False)
+            name, _ = self._models.popitem(last=False)
+            evicted.append(name)
             self.metrics.increment("registry_evictions_total")
+        return evicted
 
     # --------------------------------------------------------------- access
     def get(self, name: str) -> DataSummary:
@@ -129,6 +154,7 @@ class ModelRegistry:
             present = self._models.pop(name, None) is not None
         if present:
             self.metrics.increment("registry_evictions_total")
+            self._notify("evict", [name])
         return present
 
     def names(self) -> List[str]:
