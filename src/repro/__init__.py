@@ -24,6 +24,9 @@ Public surface
 * :mod:`repro.federated` — FkM and Khatri-Rao-FkM;
 * :mod:`repro.serving` — the batched model server (registry,
   micro-batcher, HTTP front end, metrics) over fitted summaries;
+* :mod:`repro.runtime` — fault-tolerant training runtime
+  (checkpoint/resume, supervised parallel restarts), with the shared
+  fault-injection vocabulary in :mod:`repro.faults`;
 * :mod:`repro.applications` — color quantization;
 * :mod:`repro.datasets`, :mod:`repro.metrics`, :mod:`repro.linalg`,
   :mod:`repro.core.design` — data, evaluation and design-choice utilities.
@@ -33,16 +36,19 @@ from . import applications, core, datasets, deep, federated, linalg, metrics, vi
 from .core import KhatriRaoKMeans, KMeans, MiniBatchKhatriRaoKMeans, NaiveKhatriRao
 from .deep import DEC, DKM, IDEC, KhatriRaoDEC, KhatriRaoDKM, KhatriRaoIDEC
 from .summary import DataSummary, summarize
-from . import serving
+from . import faults, runtime, serving
 from .exceptions import (
     BatcherStoppedError,
+    CheckpointError,
     ConvergenceWarning,
     DatasetError,
     DtypeFallbackWarning,
     ModelNotFoundError,
     NotFittedError,
+    QuorumError,
     RateLimitError,
     ReproError,
+    RestartFailedError,
     ServingError,
     SummaryFormatError,
     ValidationError,
@@ -71,6 +77,9 @@ __all__ = [
     "ReproError",
     "ValidationError",
     "SummaryFormatError",
+    "CheckpointError",
+    "RestartFailedError",
+    "QuorumError",
     "NotFittedError",
     "DatasetError",
     "ServingError",
@@ -83,9 +92,11 @@ __all__ = [
     "deep",
     "datasets",
     "federated",
+    "faults",
     "applications",
     "linalg",
     "metrics",
+    "runtime",
     "serving",
     "viz",
     "__version__",

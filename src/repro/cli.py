@@ -61,6 +61,18 @@ def build_parser() -> argparse.ArgumentParser:
     fit.add_argument("--seed", type=int, default=0)
     fit.add_argument("--save", default=None, metavar="PATH",
                      help="write the KR summary to an .npz file")
+    fit.add_argument("--n-jobs", type=int, default=None,
+                     help="run the saved model's n_init restarts on this "
+                          "many worker threads (default: sequential); "
+                          "model selection is identical to sequential")
+    fit.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                     help="write an atomic training checkpoint per "
+                          "iteration under DIR while fitting the saved "
+                          "model (requires --save)")
+    fit.add_argument("--resume", action="store_true",
+                     help="resume the saved model's fit from the "
+                          "checkpoint in --checkpoint-dir; the resumed "
+                          "run is bit-identical to an uninterrupted one")
 
     summary = subparsers.add_parser("summary", help="inspect a saved summary")
     summary.add_argument("path", help="path to a .npz summary")
@@ -135,10 +147,26 @@ def _cmd_datasets(args) -> int:
 
 
 def _cmd_fit(args) -> int:
+    from pathlib import Path
+
     from .core import KhatriRaoKMeans, balanced_factor_pair
     from .datasets import load_dataset
     from .reporting import compare_methods, render_comparison
     from .summary import summarize
+
+    if (args.checkpoint_dir or args.resume) and not args.save:
+        print("error: --checkpoint-dir/--resume only apply to the saved "
+              "model fit; pass --save PATH", file=sys.stderr)
+        return 2
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume needs --checkpoint-dir to locate the "
+              "checkpoint", file=sys.stderr)
+        return 2
+    if args.n_jobs and (args.checkpoint_dir or args.resume):
+        print("error: --n-jobs is incompatible with --checkpoint-dir/"
+              "--resume (checkpoints snapshot the sequential restart loop)",
+              file=sys.stderr)
+        return 2
 
     ds = load_dataset(args.dataset, scale=args.scale, random_state=args.seed)
     print(f"dataset {ds.name}: {ds.n_samples} x {ds.n_features}, "
@@ -156,9 +184,17 @@ def _cmd_fit(args) -> int:
             if h2 == 1:
                 h1, h2 = balanced_factor_pair(ds.n_labels + 1)
             cards = (h1, h2)
+        checkpoint = resume_from = None
+        if args.checkpoint_dir:
+            ckdir = Path(args.checkpoint_dir)
+            ckdir.mkdir(parents=True, exist_ok=True)
+            checkpoint = ckdir / "fit.npz"
+            if args.resume:
+                resume_from = checkpoint
         model = KhatriRaoKMeans(
             cards, aggregator=args.aggregator, n_init=args.n_init,
-            random_state=args.seed,
+            random_state=args.seed, n_jobs=args.n_jobs,
+            checkpoint=checkpoint, resume_from=resume_from,
         ).fit(ds.data)
         summary = summarize(model, metadata={"dataset": ds.name})
         written = summary.save(args.save)

@@ -10,6 +10,7 @@ which mirrors the implementation of Khatri-Rao-k-Means", Appendix B).
 from __future__ import annotations
 
 import warnings
+from pathlib import Path
 from typing import Optional
 
 import numpy as np
@@ -22,6 +23,16 @@ from .._validation import (
     check_random_state,
 )
 from ..exceptions import ConvergenceWarning, NotFittedError, ValidationError
+from ..runtime.checkpoint import (
+    check_header_fields,
+    data_fingerprint,
+    read_checkpoint,
+    resolve_checkpoint,
+    restore_rng_state,
+    serialize_rng_state,
+    write_checkpoint,
+)
+from ..runtime.executor import resolve_executor, run_restarts
 from ._bounds import HamerlyBounds, check_pruning, dense_drift, hamerly_step
 from ._distances import (
     assign_to_nearest,
@@ -132,6 +143,31 @@ class KMeans:
         to the historical behavior.
     random_state : None, int or Generator
         Source of randomness.
+    checkpoint : None, path or CheckpointConfig
+        When set, the sequential restart sweep snapshots its full state
+        (centers, labels, bound caches, restart/iteration counters,
+        best-so-far, RNG state) atomically to this path on the config's
+        cadence — see :mod:`repro.runtime.checkpoint`.  Incompatible
+        with ``n_jobs``.
+    resume_from : None or path
+        Resume a fit from a checkpoint written by a run with identical
+        parameters on identical data (both verified, mismatch is a typed
+        :class:`~repro.exceptions.CheckpointError`).  The resumed fit is
+        bit-identical to the uninterrupted one.
+    callback : None or callable
+        ``callback(restart_index, iteration)`` invoked after every
+        completed Lloyd iteration — the training fault-injection seam
+        (:class:`~repro.faults.FaultHook`), also usable for progress
+        reporting.  A callback raising ``KeyboardInterrupt`` triggers
+        the graceful-interrupt path.
+    n_jobs : None, int or ExecutorConfig
+        ``None`` (default) runs restarts sequentially on a shared RNG —
+        bit-compatible with every earlier release.  An int (or a full
+        :class:`~repro.runtime.executor.ExecutorConfig`) runs them
+        through the supervised parallel executor on per-restart
+        ``rng.spawn`` streams: the result is identical at every worker
+        count, and restart failures are retried/tolerated per the
+        config.  Incompatible with ``checkpoint``/``resume_from``.
 
     Attributes
     ----------
@@ -144,6 +180,10 @@ class KMeans:
         Iterations run by the best restart.
     dtype_ : numpy.dtype
         Working dtype the fit actually ran in.
+    converged_ : bool
+        ``True`` when ``fit`` ran to normal completion; ``False`` when a
+        ``KeyboardInterrupt`` stopped it early (the best state found so
+        far is retained instead of lost).
 
     Examples
     --------
@@ -165,6 +205,10 @@ class KMeans:
         pruning: str = "auto",
         dtype="float64",
         random_state=None,
+        checkpoint=None,
+        resume_from=None,
+        callback=None,
+        n_jobs=None,
     ) -> None:
         self.n_clusters = check_positive_int(n_clusters, "n_clusters")
         self.init = check_in(init, "init", ("k-means++", "random"))
@@ -174,12 +218,26 @@ class KMeans:
         self.pruning = check_pruning(pruning)
         self.dtype = check_dtype(dtype)
         self.random_state = random_state
+        self.checkpoint = resolve_checkpoint(checkpoint)
+        self.resume_from = None if resume_from is None else Path(resume_from)
+        if callback is not None and not callable(callback):
+            raise ValidationError(f"callback must be callable, got {callback!r}")
+        self.callback = callback
+        self.n_jobs = resolve_executor(n_jobs)
+        if self.n_jobs is not None and (
+            self.checkpoint is not None or self.resume_from is not None
+        ):
+            raise ValidationError(
+                "checkpoint/resume_from are sequential-sweep features and "
+                "cannot be combined with n_jobs"
+            )
 
         self.cluster_centers_: Optional[np.ndarray] = None
         self.labels_: Optional[np.ndarray] = None
         self.inertia_: float = np.inf
         self.n_iter_: int = 0
         self.dtype_: Optional[np.dtype] = None
+        self.converged_: bool = False
 
     # ------------------------------------------------------------------ API
     def fit(self, X, sample_weight=None) -> "KMeans":
@@ -198,26 +256,88 @@ class KMeans:
         # ‖x‖² is constant across iterations and restarts — pay for it once.
         x_squared_norms = row_norms_squared(X)
 
+        # ... and so is the weighted data matrix feeding the centroid sums.
+        weighted_X = X * weights[:, None]
+
+        if self.n_jobs is not None:
+            # Supervised parallel sweep: per-restart spawned streams, so
+            # the selected model is identical at every worker count.
+            def run_one(gen, seed_index):
+                centers, labels, run_inertia, iterations, run_interrupted = (
+                    self._single_run(
+                        X, gen, weights, weighted_X, x_squared_norms,
+                        restart_index=seed_index,
+                    )
+                )
+                if run_interrupted:
+                    # A callback-raised interrupt inside a worker: surface
+                    # it so the sweep reports interrupted (the executor
+                    # keeps every restart that already completed).
+                    raise KeyboardInterrupt
+                return run_inertia, (centers, labels, iterations)
+
+            report = run_restarts(run_one, self.n_init, rng, self.n_jobs)
+            if report.interrupted and not report.outcomes:
+                raise KeyboardInterrupt
+            best = report.best()
+            self.cluster_centers_, self.labels_, self.n_iter_ = best.payload
+            self.inertia_ = best.inertia
+            self.converged_ = not report.interrupted
+            return self
+
         best_inertia = np.inf
         best_centers = None
         best_labels = None
         best_iterations = 0
-        # ... and so is the weighted data matrix feeding the centroid sums.
-        weighted_X = X * weights[:, None]
-        for _ in range(self.n_init):
-            centers, labels, run_inertia, iterations = self._single_run(
-                X, rng, weights, weighted_X, x_squared_norms
+        start_restart = 0
+        resume_state = None
+        fingerprint = data_fingerprint(X, weights)
+        if self.resume_from is not None:
+            (start_restart, resume_state, best_resumed) = self._load_checkpoint(
+                rng, fingerprint, x_squared_norms, X.shape[1]
             )
+            if best_resumed is not None:
+                best_centers, best_labels, best_inertia, best_iterations = (
+                    best_resumed
+                )
+        interrupted = False
+        for restart in range(start_restart, self.n_init):
+            best_state = (
+                None if best_centers is None
+                else (best_centers, best_labels, best_inertia, best_iterations)
+            )
+            try:
+                centers, labels, run_inertia, iterations, run_interrupted = (
+                    self._single_run(
+                        X, rng, weights, weighted_X, x_squared_norms,
+                        restart_index=restart,
+                        resume=resume_state,
+                        fingerprint=fingerprint,
+                        best_state=best_state,
+                    )
+                )
+            except KeyboardInterrupt:
+                # Interrupted before this restart completed one iteration:
+                # keep the best earlier restart if there is one.
+                if best_centers is None:
+                    raise
+                interrupted = True
+                break
+            resume_state = None
             if run_inertia < best_inertia:
                 best_inertia = run_inertia
                 best_centers = centers
                 best_labels = labels
                 best_iterations = iterations
+            if run_interrupted:
+                interrupted = True
+                break
 
         self.cluster_centers_ = best_centers
         self.labels_ = best_labels
         self.inertia_ = float(best_inertia)
         self.n_iter_ = best_iterations
+        self.converged_ = not interrupted
         return self
 
     def fit_predict(self, X) -> np.ndarray:
@@ -303,6 +423,103 @@ class KMeans:
         labels, _, full_d1 = hamerly_step(bounds, labels, exact_squared, rescore)
         return labels, full_d1
 
+    # --------------------------------------------------------- checkpointing
+    def _param_header(self) -> dict:
+        """Configuration fingerprint a checkpoint must match to resume."""
+        return {
+            "n_clusters": self.n_clusters,
+            "init": self.init,
+            "n_init": self.n_init,
+            "max_iter": self.max_iter,
+            "tol": self.tol,
+            "pruning": self.pruning,
+            "dtype": np.dtype(self.dtype_).name,
+        }
+
+    def _write_checkpoint(
+        self, restart, iteration, centers, labels, bounds, rng,
+        fingerprint, best_state,
+    ) -> None:
+        if self.checkpoint is None or not self.checkpoint.due(iteration):
+            return
+        header = {
+            "estimator": type(self).__name__,
+            "params": self._param_header(),
+            "data": fingerprint,
+            "restart": restart,
+            "iteration": iteration,
+            "rng_state": serialize_rng_state(rng),
+            "bounds_initialized": (
+                None if bounds is None else bool(bounds.initialized)
+            ),
+            "has_best": best_state is not None,
+            "best_inertia": (
+                None if best_state is None else float(best_state[2])
+            ),
+            "best_iterations": (
+                0 if best_state is None else int(best_state[3])
+            ),
+        }
+        arrays = {"centers": centers, "labels": labels}
+        if bounds is not None:
+            arrays["bounds_upper"] = bounds.upper
+            arrays["bounds_lower"] = bounds.lower
+        if best_state is not None:
+            arrays["best_centers"] = best_state[0]
+            arrays["best_labels"] = best_state[1]
+        write_checkpoint(self.checkpoint.path, header, arrays)
+
+    def _load_checkpoint(self, rng, fingerprint, x_squared_norms, n_features):
+        """Verify and unpack ``resume_from``; restores ``rng`` in place.
+
+        Returns ``(restart_index, resume_state, best_state_or_None)``
+        where ``resume_state`` re-enters :meth:`_single_run` at the
+        checkpointed iteration's successor.
+        """
+        from ..exceptions import CheckpointError
+
+        header, arrays = read_checkpoint(self.resume_from)
+        check_header_fields(
+            header,
+            {
+                "estimator": type(self).__name__,
+                "params": self._param_header(),
+                "data": fingerprint,
+            },
+            path=self.resume_from,
+        )
+        restore_rng_state(rng, header["rng_state"])
+        centers = np.ascontiguousarray(arrays["centers"], dtype=self.dtype_)
+        labels = np.ascontiguousarray(arrays["labels"], dtype=np.int64)
+        bounds = None
+        if self.uses_pruning:
+            if "bounds_upper" not in arrays:
+                raise CheckpointError(
+                    f"{self.resume_from} carries no pruning bounds but the "
+                    "resuming estimator prunes", field="bounds_upper",
+                )
+            # The dtype-margin scalars are deterministic functions of the
+            # constructor inputs, so only the per-point arrays and the
+            # initialized flag need the round trip.
+            bounds = HamerlyBounds(x_squared_norms, n_features)
+            bounds.upper = np.ascontiguousarray(
+                arrays["bounds_upper"], dtype=np.float64
+            )
+            bounds.lower = np.ascontiguousarray(
+                arrays["bounds_lower"], dtype=np.float64
+            )
+            bounds.initialized = bool(header["bounds_initialized"])
+        resume_state = (centers, labels, bounds, int(header["iteration"]) + 1)
+        best_state = None
+        if header.get("has_best"):
+            best_state = (
+                np.ascontiguousarray(arrays["best_centers"], dtype=self.dtype_),
+                np.ascontiguousarray(arrays["best_labels"], dtype=np.int64),
+                float(header["best_inertia"]),
+                int(header["best_iterations"]),
+            )
+        return int(header["restart"]), resume_state, best_state
+
     def _single_run(
         self,
         X: np.ndarray,
@@ -310,58 +527,89 @@ class KMeans:
         weights: np.ndarray,
         weighted_X: np.ndarray,
         x_squared_norms: np.ndarray,
+        restart_index: int = 0,
+        resume=None,
+        fingerprint=None,
+        best_state=None,
     ):
-        centers = self._init_centers(X, rng)
-        bounds = (
-            HamerlyBounds(x_squared_norms, X.shape[1])
-            if self.uses_pruning else None
-        )
-        labels = np.zeros(X.shape[0], dtype=np.int64)
-        iterations = 0
-        for iterations in range(1, self.max_iter + 1):
-            labels, min_distances = self._assign_step(
-                X, centers, labels, bounds, x_squared_norms
+        if resume is None:
+            centers = self._init_centers(X, rng)
+            bounds = (
+                HamerlyBounds(x_squared_norms, X.shape[1])
+                if self.uses_pruning else None
             )
-            new_centers = centers.copy()
-            counts = np.bincount(labels, weights=weights, minlength=self.n_clusters)
-            # Per-column bincount reduction (grouped_row_sum) over the
-            # fit-hoisted weighted matrix: same row-order accumulation as
-            # the np.add.at scatter it replaces, an order of magnitude
-            # faster — and with pruning this update is the iteration floor.
-            sums = grouped_row_sum(labels, weighted_X, self.n_clusters)
-            non_empty = counts > 0
-            new_centers[non_empty] = sums[non_empty] / counts[non_empty, None]
-            # Empty clusters: re-seed on the points farthest from their centroid,
-            # the standard remedy (also used by KR-k-Means, Appendix B).
-            empty = np.flatnonzero(~non_empty)
-            if empty.size:
-                if min_distances is None:
-                    # Pruned iterations skip exact per-point distances; the
-                    # reseed rule ranks all of them, so fall back to the full
-                    # computation the unpruned path runs — same call, same
-                    # inputs, bit-identical reseed choice.
-                    _, min_distances = assign_to_nearest(
-                        X, centers, x_squared_norms=x_squared_norms
+            labels = np.zeros(X.shape[0], dtype=np.int64)
+            start = 1
+        else:
+            centers, labels, bounds, start = resume
+        interrupted = False
+        # `completed` and `centers` advance together at the end of each
+        # iteration, so the KeyboardInterrupt handler always sees a
+        # consistent last-completed state even mid-iteration.
+        completed = start - 1
+        try:
+            for iterations in range(start, self.max_iter + 1):
+                labels, min_distances = self._assign_step(
+                    X, centers, labels, bounds, x_squared_norms
+                )
+                new_centers = centers.copy()
+                counts = np.bincount(
+                    labels, weights=weights, minlength=self.n_clusters
+                )
+                # Per-column bincount reduction (grouped_row_sum) over the
+                # fit-hoisted weighted matrix: same row-order accumulation as
+                # the np.add.at scatter it replaces, an order of magnitude
+                # faster — and with pruning this update is the iteration floor.
+                sums = grouped_row_sum(labels, weighted_X, self.n_clusters)
+                non_empty = counts > 0
+                new_centers[non_empty] = sums[non_empty] / counts[non_empty, None]
+                # Empty clusters: re-seed on the points farthest from their
+                # centroid, the standard remedy (also KR-k-Means, Appendix B).
+                empty = np.flatnonzero(~non_empty)
+                if empty.size:
+                    if min_distances is None:
+                        # Pruned iterations skip exact per-point distances;
+                        # the reseed rule ranks all of them, so fall back to
+                        # the full computation the unpruned path runs — same
+                        # call, same inputs, bit-identical reseed choice.
+                        _, min_distances = assign_to_nearest(
+                            X, centers, x_squared_norms=x_squared_norms
+                        )
+                    farthest = (
+                        np.argsort(min_distances * weights)[::-1][: empty.size]
                     )
-                farthest = np.argsort(min_distances * weights)[::-1][: empty.size]
-                new_centers[empty] = X[farthest]
-            # float64 reduction for any working dtype (exact no-op at f64):
-            # the convergence test must not drown in f32 accumulation noise.
-            shift = float(np.sum((new_centers - centers) ** 2, dtype=np.float64))
-            if bounds is not None and shift >= self.tol:
-                drift = dense_drift(centers, new_centers)
-                bounds.inflate(drift[labels], float(drift.max()))
-            centers = new_centers
-            if shift < self.tol:
-                break
-        else:  # pragma: no cover - depends on data
-            warnings.warn(
-                f"KMeans did not converge in {self.max_iter} iterations",
-                ConvergenceWarning,
-                stacklevel=2,
-            )
+                    new_centers[empty] = X[farthest]
+                # float64 reduction for any working dtype (exact no-op at
+                # f64): the convergence test must not drown in f32
+                # accumulation noise.
+                shift = float(
+                    np.sum((new_centers - centers) ** 2, dtype=np.float64)
+                )
+                if bounds is not None and shift >= self.tol:
+                    drift = dense_drift(centers, new_centers)
+                    bounds.inflate(drift[labels], float(drift.max()))
+                centers = new_centers
+                completed = iterations
+                if self.callback is not None:
+                    self.callback(restart_index, iterations)
+                if shift < self.tol:
+                    break
+                # Snapshot only on continuing iterations: a resumed run
+                # always has at least the terminal iteration left to do.
+                self._write_checkpoint(
+                    restart_index, iterations, centers, labels, bounds,
+                    rng, fingerprint, best_state,
+                )
+            else:  # pragma: no cover - depends on data
+                warnings.warn(
+                    f"KMeans did not converge in {self.max_iter} iterations",
+                    ConvergenceWarning,
+                    stacklevel=2,
+                )
+        except KeyboardInterrupt:
+            interrupted = True
         labels, min_distances = assign_to_nearest(
             X, centers, x_squared_norms=x_squared_norms
         )
         inertia = float((min_distances * weights).sum(dtype=np.float64))
-        return centers, labels, inertia, iterations
+        return centers, labels, inertia, completed, interrupted

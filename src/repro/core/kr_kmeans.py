@@ -86,6 +86,7 @@ workloads.
 from __future__ import annotations
 
 import warnings
+from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -98,7 +99,22 @@ from .._validation import (
     check_positive_int,
     check_random_state,
 )
-from ..exceptions import ConvergenceWarning, NotFittedError, ValidationError
+from ..exceptions import (
+    CheckpointError,
+    ConvergenceWarning,
+    NotFittedError,
+    ValidationError,
+)
+from ..runtime.checkpoint import (
+    check_header_fields,
+    data_fingerprint,
+    read_checkpoint,
+    resolve_checkpoint,
+    restore_rng_state,
+    serialize_rng_state,
+    write_checkpoint,
+)
+from ..runtime.executor import resolve_executor, run_restarts
 from ..linalg import (
     get_aggregator,
     khatri_rao_combine,
@@ -220,6 +236,30 @@ class KhatriRaoKMeans:
         (default) is bit-identical to the historical behavior.
     random_state : None, int or Generator
         Source of randomness.
+    checkpoint : None, path or CheckpointConfig
+        When set, the sequential restart sweep snapshots its full state
+        (protocentroids, labels, bound caches, restart/iteration
+        counters, best-so-far, RNG state) atomically to this path on the
+        config's cadence — see :mod:`repro.runtime.checkpoint`.
+        Incompatible with ``n_jobs``.
+    resume_from : None or path
+        Resume a fit from a checkpoint written by a run with identical
+        parameters on identical data (both verified, mismatch is a typed
+        :class:`~repro.exceptions.CheckpointError`).  The resumed fit is
+        bit-identical to the uninterrupted one.
+    callback : None or callable
+        ``callback(restart_index, iteration)`` invoked after every
+        completed Lloyd iteration — the training fault-injection seam
+        (:class:`~repro.faults.FaultHook`).  A callback raising
+        ``KeyboardInterrupt`` triggers the graceful-interrupt path.
+    n_jobs : None, int or ExecutorConfig
+        ``None`` (default) runs restarts sequentially on a shared RNG —
+        bit-compatible with every earlier release.  An int (or a full
+        :class:`~repro.runtime.executor.ExecutorConfig`) runs them
+        through the supervised parallel executor on per-restart
+        ``rng.spawn`` streams: identical result at every worker count,
+        restart failures retried/tolerated per the config.  Incompatible
+        with ``checkpoint``/``resume_from``.
 
     Attributes
     ----------
@@ -239,6 +279,10 @@ class KhatriRaoKMeans:
         Working dtype the fit actually ran in (after capability
         resolution — equals the requested ``dtype`` unless the aggregator
         forced the float64 fallback).
+    converged_ : bool
+        ``True`` when ``fit`` ran to normal completion; ``False`` when a
+        ``KeyboardInterrupt`` stopped it early (the best state found so
+        far is retained instead of lost).
 
     Examples
     --------
@@ -267,6 +311,10 @@ class KhatriRaoKMeans:
         chunk_size: int = 256,
         dtype="float64",
         random_state=None,
+        checkpoint=None,
+        resume_from=None,
+        callback=None,
+        n_jobs=None,
     ) -> None:
         self.cardinalities = check_cardinalities(cardinalities)
         self.aggregator = get_aggregator(aggregator)
@@ -281,6 +329,19 @@ class KhatriRaoKMeans:
         self.chunk_size = check_positive_int(chunk_size, "chunk_size")
         self.dtype = check_dtype(dtype)
         self.random_state = random_state
+        self.checkpoint = resolve_checkpoint(checkpoint)
+        self.resume_from = None if resume_from is None else Path(resume_from)
+        if callback is not None and not callable(callback):
+            raise ValidationError(f"callback must be callable, got {callback!r}")
+        self.callback = callback
+        self.n_jobs = resolve_executor(n_jobs)
+        if self.n_jobs is not None and (
+            self.checkpoint is not None or self.resume_from is not None
+        ):
+            raise ValidationError(
+                "checkpoint/resume_from are sequential-sweep features and "
+                "cannot be combined with n_jobs"
+            )
 
         self.protocentroids_: Optional[List[np.ndarray]] = None
         self.labels_: Optional[np.ndarray] = None
@@ -289,7 +350,7 @@ class KhatriRaoKMeans:
         self.n_iter_: int = 0
         self.reassignment_fractions_: Optional[List[float]] = None
         self.dtype_: Optional[np.dtype] = None
-        self._previous_thetas: Optional[List[np.ndarray]] = None
+        self.converged_: bool = False
 
     # ------------------------------------------------------------------ API
     @property
@@ -361,13 +422,67 @@ class KhatriRaoKMeans:
         # ‖x‖² is constant across iterations and restarts — pay for it once.
         x_squared_norms = row_norms_squared(X)
 
+        if self.n_jobs is not None:
+            # Supervised parallel sweep: per-restart spawned streams, so
+            # the selected model is identical at every worker count.
+            def run_one(gen, seed_index):
+                (thetas, labels, set_labels, run_inertia, iters, fractions,
+                 run_interrupted) = self._single_run(
+                    X, gen, materialize, weights, x_squared_norms,
+                    restart_index=seed_index,
+                )
+                if run_interrupted:
+                    # A callback-raised interrupt inside a worker: surface
+                    # it so the sweep reports interrupted (the executor
+                    # keeps every restart that already completed).
+                    raise KeyboardInterrupt
+                return run_inertia, (thetas, labels, set_labels, iters, fractions)
+
+            report = run_restarts(run_one, self.n_init, rng, self.n_jobs)
+            if report.interrupted and not report.outcomes:
+                raise KeyboardInterrupt
+            winner = report.best()
+            (self.protocentroids_, self.labels_, self.set_labels_,
+             self.n_iter_, self.reassignment_fractions_) = winner.payload
+            self.inertia_ = winner.inertia
+            self.converged_ = not report.interrupted
+            return self
+
         best = (np.inf, None, None, None, 0, None)
-        for _ in range(self.n_init):
-            thetas, labels, set_labels, run_inertia, iters, fractions = (
-                self._single_run(X, rng, materialize, weights, x_squared_norms)
+        start_restart = 0
+        resume_state = None
+        fingerprint = data_fingerprint(X, weights)
+        if self.resume_from is not None:
+            start_restart, resume_state, best_resumed = self._load_checkpoint(
+                rng, fingerprint, materialize, x_squared_norms, X.shape[1]
             )
+            if best_resumed is not None:
+                best = best_resumed
+        interrupted = False
+        for restart in range(start_restart, self.n_init):
+            best_state = None if best[1] is None else best
+            try:
+                (thetas, labels, set_labels, run_inertia, iters, fractions,
+                 run_interrupted) = self._single_run(
+                    X, rng, materialize, weights, x_squared_norms,
+                    restart_index=restart,
+                    resume=resume_state,
+                    fingerprint=fingerprint,
+                    best_state=best_state,
+                )
+            except KeyboardInterrupt:
+                # Interrupted before this restart completed one iteration:
+                # keep the best earlier restart if there is one.
+                if best[1] is None:
+                    raise
+                interrupted = True
+                break
+            resume_state = None
             if run_inertia < best[0]:
                 best = (run_inertia, thetas, labels, set_labels, iters, fractions)
+            if run_interrupted:
+                interrupted = True
+                break
 
         self.inertia_ = float(best[0])
         self.protocentroids_ = best[1]
@@ -375,6 +490,7 @@ class KhatriRaoKMeans:
         self.set_labels_ = best[3]
         self.n_iter_ = best[4]
         self.reassignment_fractions_ = best[5]
+        self.converged_ = not interrupted
         return self
 
     def fit_predict(self, X) -> np.ndarray:
@@ -599,6 +715,144 @@ class KhatriRaoKMeans:
             weights=weights, factored=self.uses_factored_update,
         )
 
+    # --------------------------------------------------------- checkpointing
+    def _param_header(self) -> dict:
+        """Configuration fingerprint a checkpoint must match to resume."""
+        return {
+            "cardinalities": [int(h) for h in self.cardinalities],
+            "aggregator": self.aggregator.name,
+            "init": self.init,
+            "n_init": self.n_init,
+            "max_iter": self.max_iter,
+            "tol": self.tol,
+            "mode": self.mode,
+            "assignment": self.assignment,
+            "update": self.update,
+            "pruning": self.pruning,
+            "chunk_size": self.chunk_size,
+            "dtype": np.dtype(self.dtype_).name,
+        }
+
+    def _write_checkpoint(
+        self, restart, iteration, thetas, labels, bounds, fractions,
+        rng, fingerprint, best_state,
+    ) -> None:
+        if self.checkpoint is None or not self.checkpoint.due(iteration):
+            return
+        header = {
+            "estimator": type(self).__name__,
+            "params": self._param_header(),
+            "data": fingerprint,
+            "restart": restart,
+            "iteration": iteration,
+            "rng_state": serialize_rng_state(rng),
+            "bounds_initialized": (
+                None if bounds is None else bool(bounds.initialized)
+            ),
+            "has_best": best_state is not None,
+            "best_inertia": (
+                None if best_state is None else float(best_state[0])
+            ),
+            "best_iterations": (
+                0 if best_state is None else int(best_state[4])
+            ),
+        }
+        arrays = {"labels": labels}
+        for q, theta in enumerate(thetas):
+            arrays[f"theta_{q}"] = theta
+        if bounds is not None:
+            arrays["bounds_upper"] = bounds.upper
+            arrays["bounds_lower"] = bounds.lower
+            arrays["fractions"] = np.asarray(fractions, dtype=np.float64)
+        if best_state is not None:
+            for q, theta in enumerate(best_state[1]):
+                arrays[f"best_theta_{q}"] = theta
+            arrays["best_labels"] = best_state[2]
+            if best_state[5] is not None:
+                arrays["best_fractions"] = np.asarray(
+                    best_state[5], dtype=np.float64
+                )
+        write_checkpoint(self.checkpoint.path, header, arrays)
+
+    def _load_checkpoint(
+        self, rng, fingerprint, materialize, x_squared_norms, n_features
+    ):
+        """Verify and unpack ``resume_from``; restores ``rng`` in place.
+
+        Returns ``(restart_index, resume_state, best_tuple_or_None)``
+        where ``resume_state`` re-enters :meth:`_single_run` at the
+        checkpointed iteration's successor.
+        """
+        header, arrays = read_checkpoint(self.resume_from)
+        check_header_fields(
+            header,
+            {
+                "estimator": type(self).__name__,
+                "params": self._param_header(),
+                "data": fingerprint,
+            },
+            path=self.resume_from,
+        )
+        restore_rng_state(rng, header["rng_state"])
+
+        def _thetas(prefix):
+            out = []
+            for q in range(len(self.cardinalities)):
+                key = f"{prefix}{q}"
+                if key not in arrays:
+                    raise CheckpointError(
+                        f"{self.resume_from} is missing protocentroid set "
+                        f"{key!r}", field=key,
+                    )
+                out.append(np.ascontiguousarray(arrays[key], dtype=self.dtype_))
+            return out
+
+        thetas = _thetas("theta_")
+        labels = np.ascontiguousarray(arrays["labels"], dtype=np.int64)
+        set_labels = self.set_assignments(labels)
+        bounds = None
+        fractions: Optional[List[float]] = None
+        if self._uses_pruning(materialize):
+            if "bounds_upper" not in arrays:
+                raise CheckpointError(
+                    f"{self.resume_from} carries no pruning bounds but the "
+                    "resuming estimator prunes", field="bounds_upper",
+                )
+            # The dtype-margin scalars are deterministic functions of the
+            # constructor inputs, so only the per-point arrays and the
+            # initialized flag need the round trip.
+            bounds = HamerlyBounds(x_squared_norms, n_features)
+            bounds.upper = np.ascontiguousarray(
+                arrays["bounds_upper"], dtype=np.float64
+            )
+            bounds.lower = np.ascontiguousarray(
+                arrays["bounds_lower"], dtype=np.float64
+            )
+            bounds.initialized = bool(header["bounds_initialized"])
+            fractions = [float(f) for f in arrays["fractions"]]
+        resume_state = (
+            thetas, labels, set_labels, bounds, fractions,
+            int(header["iteration"]) + 1,
+        )
+        best = None
+        if header.get("has_best"):
+            best_labels = np.ascontiguousarray(
+                arrays["best_labels"], dtype=np.int64
+            )
+            best_fractions = (
+                [float(f) for f in arrays["best_fractions"]]
+                if "best_fractions" in arrays else None
+            )
+            best = (
+                float(header["best_inertia"]),
+                _thetas("best_theta_"),
+                best_labels,
+                self.set_assignments(best_labels),
+                int(header["best_iterations"]),
+                best_fractions,
+            )
+        return int(header["restart"]), resume_state, best
+
     # -- main loop -----------------------------------------------------------
     def _single_run(
         self,
@@ -607,62 +861,96 @@ class KhatriRaoKMeans:
         materialize: bool,
         weights: Optional[np.ndarray],
         x_squared_norms: np.ndarray,
+        restart_index: int = 0,
+        resume=None,
+        fingerprint=None,
+        best_state=None,
     ):
-        thetas = self._init_protocentroids(X, rng)
         factored = self.uses_factored_assignment
+        if resume is None:
+            thetas = self._init_protocentroids(X, rng)
+            bounds = (
+                HamerlyBounds(x_squared_norms, X.shape[1])
+                if self._uses_pruning(materialize) else None
+            )
+            fractions: Optional[List[float]] = [] if bounds is not None else None
+            labels = np.zeros(X.shape[0], dtype=np.int64)
+            set_labels: Optional[np.ndarray] = None
+            start = 1
+        else:
+            thetas, labels, set_labels, bounds, fractions, start = resume
         # Shift tracking: the factored closed form and the chunked memory
         # comparison diff protocentroids directly, so both seed the cached
-        # previous copies from the initial protocentroids; the materialized
+        # previous copies from the current protocentroids; the materialized
         # comparison seeds old_centroids instead.  All three therefore
-        # measure a real shift on iteration 1 and converge identically.
+        # measure a real shift on the next iteration and converge
+        # identically.  (On resume this reconstruction is exact: at the end
+        # of every completed iteration the caches equal the current
+        # protocentroids / their combination, which is what the checkpoint
+        # stores.)
         if not factored and materialize:
-            self._previous_thetas = None
+            previous_thetas = None
             old_centroids = khatri_rao_combine(thetas, self.aggregator)
         else:
-            self._previous_thetas = [theta.copy() for theta in thetas]
+            previous_thetas = [theta.copy() for theta in thetas]
             old_centroids = None
-        bounds = (
-            HamerlyBounds(x_squared_norms, X.shape[1])
-            if self._uses_pruning(materialize) else None
-        )
-        fractions: Optional[List[float]] = [] if bounds is not None else None
-        labels = np.zeros(X.shape[0], dtype=np.int64)
-        set_labels: Optional[np.ndarray] = None
-        iterations = 0
-        for iterations in range(1, self.max_iter + 1):
-            if bounds is None:
-                labels, _ = self._assign(X, thetas, materialize, x_squared_norms)
-            else:
-                labels, fraction = self._assign_iteration(
-                    X, thetas, materialize, x_squared_norms, labels,
-                    set_labels, bounds,
-                )
-                fractions.append(fraction)
-            set_labels = self.set_assignments(labels)
-            thetas = self._update_protocentroids(X, thetas, set_labels, rng, weights)
-            shift, old_centroids, drift = self._centroid_shift(
-                thetas, old_centroids, materialize, want_drift=bounds is not None
-            )
-            if shift < self.tol:
-                break
-            if bounds is not None:
-                # Triangle-inequality inflation: the assigned centroid's
-                # drift bound raises each upper bound, the grid-wide maximum
-                # lowers every second-nearest bound.
-                if drift[0] == "tables":
-                    assigned_drift, max_drift = drift_inflation_from_tables(
-                        drift[1], set_labels
+        interrupted = False
+        # `completed` advances only once an iteration's protocentroid
+        # update has landed, so the KeyboardInterrupt handler always
+        # reports a consistent last-completed count.
+        completed = start - 1
+        try:
+            for iterations in range(start, self.max_iter + 1):
+                if bounds is None:
+                    labels, _ = self._assign(
+                        X, thetas, materialize, x_squared_norms
                     )
                 else:
-                    assigned_drift = drift[1][labels]
-                    max_drift = float(drift[1].max())
-                bounds.inflate(assigned_drift, max_drift)
-        else:  # pragma: no cover - depends on data
-            warnings.warn(
-                f"KhatriRaoKMeans did not converge in {self.max_iter} iterations",
-                ConvergenceWarning,
-                stacklevel=2,
-            )
+                    labels, fraction = self._assign_iteration(
+                        X, thetas, materialize, x_squared_norms, labels,
+                        set_labels, bounds,
+                    )
+                    fractions.append(fraction)
+                set_labels = self.set_assignments(labels)
+                thetas = self._update_protocentroids(
+                    X, thetas, set_labels, rng, weights
+                )
+                shift, old_centroids, drift = self._centroid_shift(
+                    thetas, previous_thetas, old_centroids, materialize,
+                    want_drift=bounds is not None,
+                )
+                completed = iterations
+                if self.callback is not None:
+                    self.callback(restart_index, iterations)
+                if shift < self.tol:
+                    break
+                if bounds is not None:
+                    # Triangle-inequality inflation: the assigned centroid's
+                    # drift bound raises each upper bound, the grid-wide
+                    # maximum lowers every second-nearest bound.
+                    if drift[0] == "tables":
+                        assigned_drift, max_drift = drift_inflation_from_tables(
+                            drift[1], set_labels
+                        )
+                    else:
+                        assigned_drift = drift[1][labels]
+                        max_drift = float(drift[1].max())
+                    bounds.inflate(assigned_drift, max_drift)
+                # Snapshot only on continuing iterations: a resumed run
+                # always has at least the terminal iteration left to do.
+                self._write_checkpoint(
+                    restart_index, iterations, thetas, labels, bounds,
+                    fractions, rng, fingerprint, best_state,
+                )
+            else:  # pragma: no cover - depends on data
+                warnings.warn(
+                    f"KhatriRaoKMeans did not converge in "
+                    f"{self.max_iter} iterations",
+                    ConvergenceWarning,
+                    stacklevel=2,
+                )
+        except KeyboardInterrupt:
+            interrupted = True
         labels, min_distances = self._assign(X, thetas, materialize, x_squared_norms)
         set_labels = self.set_assignments(labels)
         # float64 reduction for any working dtype (exact no-op at f64).
@@ -670,17 +958,23 @@ class KhatriRaoKMeans:
             min_distances.sum(dtype=np.float64) if weights is None
             else (min_distances * weights).sum(dtype=np.float64)
         )
-        return thetas, labels, set_labels, weighted_inertia, iterations, fractions
+        return (
+            thetas, labels, set_labels, weighted_inertia, completed,
+            fractions, interrupted,
+        )
 
-    def _store_previous_thetas(self, thetas: List[np.ndarray]) -> None:
+    def _store_previous_thetas(
+        self, previous_thetas: List[np.ndarray], thetas: List[np.ndarray]
+    ) -> None:
         # Reuse the cached buffers (np.copyto) instead of reallocating copies
         # of every protocentroid array each iteration.
-        for previous, current in zip(self._previous_thetas, thetas):
+        for previous, current in zip(previous_thetas, thetas):
             np.copyto(previous, current)
 
     def _centroid_shift(
         self,
         thetas: List[np.ndarray],
+        previous_thetas: Optional[List[np.ndarray]],
         old_centroids: Optional[np.ndarray],
         materialize: bool,
         want_drift: bool = False,
@@ -701,13 +995,13 @@ class KhatriRaoKMeans:
         if self.uses_factored_assignment:
             # Closed form for decomposable aggregators — O(m·Σh_q + p²·m),
             # no centroid grid in either time or memory mode.
-            shift = self.aggregator.factored_shift(self._previous_thetas, thetas)
+            shift = self.aggregator.factored_shift(previous_thetas, thetas)
             if want_drift:
                 drift = (
                     "tables",
-                    self.aggregator.factored_drift(self._previous_thetas, thetas),
+                    self.aggregator.factored_drift(previous_thetas, thetas),
                 )
-            self._store_previous_thetas(thetas)
+            self._store_previous_thetas(previous_thetas, thetas)
             return shift, None, drift
         if materialize and old_centroids is not None:
             new_centroids = khatri_rao_combine(thetas, self.aggregator)
@@ -728,7 +1022,7 @@ class KhatriRaoKMeans:
         if want_drift and not want_dense:
             drift = (
                 "tables",
-                self.aggregator.factored_drift(self._previous_thetas, thetas),
+                self.aggregator.factored_drift(previous_thetas, thetas),
             )
         shift = 0.0
         k = self.n_clusters
@@ -736,11 +1030,11 @@ class KhatriRaoKMeans:
         for start in range(0, k, self.chunk_size):
             stop = min(start + self.chunk_size, k)
             new_chunk = self._materialize_chunk(thetas, start, stop)
-            old_chunk = self._materialize_chunk(self._previous_thetas, start, stop)
+            old_chunk = self._materialize_chunk(previous_thetas, start, stop)
             if want_dense:
                 drift_vector[start:stop] = dense_drift(old_chunk, new_chunk)
             shift += float(np.sum((new_chunk - old_chunk) ** 2, dtype=np.float64))
         if want_dense:
             drift = ("dense", drift_vector)
-        self._store_previous_thetas(thetas)
+        self._store_previous_thetas(previous_thetas, thetas)
         return shift, None, drift

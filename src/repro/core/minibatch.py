@@ -28,6 +28,7 @@ points — identical labels and updates to the unpruned schedule.
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -40,7 +41,16 @@ from .._validation import (
     check_positive_int,
     check_random_state,
 )
-from ..exceptions import NotFittedError
+from ..exceptions import CheckpointError, NotFittedError, ValidationError
+from ..runtime.checkpoint import (
+    check_header_fields,
+    data_fingerprint,
+    read_checkpoint,
+    resolve_checkpoint,
+    restore_rng_state,
+    serialize_rng_state,
+    write_checkpoint,
+)
 from ..linalg import (
     get_aggregator,
     khatri_rao_combine,
@@ -125,6 +135,22 @@ class MiniBatchKhatriRaoKMeans:
         (default) reproduces the historical behavior bit for bit.
     random_state : None, int or Generator
         Source of randomness (batch sampling and initialization).
+    checkpoint : None, path or CheckpointConfig
+        When set, :meth:`fit` snapshots its full streaming state
+        (protocentroids, learning-rate counts, streaming-bound caches,
+        step counter, RNG state) atomically to this path on the config's
+        cadence — see :mod:`repro.runtime.checkpoint`.
+    resume_from : None or path
+        Resume :meth:`fit` from a checkpoint written by a run with
+        identical parameters on identical data (both verified, mismatch
+        is a typed :class:`~repro.exceptions.CheckpointError`).  The
+        resumed fit is bit-identical to the uninterrupted one.
+    callback : None or callable
+        ``callback(restart_index, step)`` invoked after every completed
+        mini-batch step (``restart_index`` is always 0 — the streaming
+        fit has no restarts; the signature matches the batch
+        estimators').  A callback raising ``KeyboardInterrupt`` triggers
+        the graceful-interrupt path.
 
     Attributes
     ----------
@@ -141,6 +167,10 @@ class MiniBatchKhatriRaoKMeans:
     dtype_ : numpy.dtype
         Working dtype training actually ran in (after capability
         resolution).
+    converged_ : bool
+        ``True`` when :meth:`fit` ran to normal completion; ``False``
+        when a ``KeyboardInterrupt`` stopped it early (the
+        last-completed-step model is retained instead of lost).
 
     Examples
     --------
@@ -166,6 +196,9 @@ class MiniBatchKhatriRaoKMeans:
         pruning: str = "auto",
         dtype="float64",
         random_state=None,
+        checkpoint=None,
+        resume_from=None,
+        callback=None,
     ) -> None:
         self.cardinalities = check_cardinalities(cardinalities)
         self.aggregator = get_aggregator(aggregator)
@@ -177,6 +210,11 @@ class MiniBatchKhatriRaoKMeans:
         self.pruning = check_pruning(pruning)
         self.dtype = check_dtype(dtype)
         self.random_state = random_state
+        self.checkpoint = resolve_checkpoint(checkpoint)
+        self.resume_from = None if resume_from is None else Path(resume_from)
+        if callback is not None and not callable(callback):
+            raise ValidationError(f"callback must be callable, got {callback!r}")
+        self.callback = callback
 
         self.protocentroids_: Optional[List[np.ndarray]] = None
         self.labels_: Optional[np.ndarray] = None
@@ -184,6 +222,7 @@ class MiniBatchKhatriRaoKMeans:
         self.n_steps_: int = 0
         self.reassignment_fractions_: Optional[List[float]] = None
         self.dtype_: Optional[np.dtype] = None
+        self.converged_: bool = False
         self._counts: Optional[List[np.ndarray]] = None
 
     @property
@@ -220,34 +259,59 @@ class MiniBatchKhatriRaoKMeans:
             X, min_samples=max(self.cardinalities), dtype=self.dtype_
         )
         rng = check_random_state(self.random_state)
-        self._initialize(X, rng)
-        state = (
-            StreamingBounds(row_norms_squared(X), X.shape[1], self.cardinalities)
-            if self.uses_pruning else None
-        )
-        self.reassignment_fractions_ = [] if state is not None else None
+        x_squared_norms = row_norms_squared(X)
+        fingerprint = data_fingerprint(X)
         smoothed_shift = np.inf
-        for step in range(1, self.max_steps + 1):
-            indices = rng.choice(
-                X.shape[0], size=min(self.batch_size, X.shape[0]), replace=False
+        start = 1
+        if self.resume_from is not None:
+            state, smoothed_shift, start = self._load_checkpoint(
+                rng, fingerprint, x_squared_norms, X.shape[1]
             )
-            batch = X[indices]
-            if state is None:
-                shift = self.partial_fit_batch(batch, rng)
-            else:
-                labels = self._pruned_batch_labels(batch, indices, state)
-                shift, drift_tables = self._apply_batch_update(
-                    batch, labels, collect_drift=True
+        else:
+            self._initialize(X, rng)
+            state = (
+                StreamingBounds(x_squared_norms, X.shape[1], self.cardinalities)
+                if self.uses_pruning else None
+            )
+            self.reassignment_fractions_ = [] if state is not None else None
+        interrupted = False
+        try:
+            for step in range(start, self.max_steps + 1):
+                indices = rng.choice(
+                    X.shape[0], size=min(self.batch_size, X.shape[0]),
+                    replace=False,
                 )
-                state.advance(drift_tables)
-            smoothed_shift = shift if not np.isfinite(smoothed_shift) else (
-                0.7 * smoothed_shift + 0.3 * shift
-            )
-            self.n_steps_ = step
-            if smoothed_shift < self.reassignment_tol:
-                break
+                batch = X[indices]
+                if state is None:
+                    shift = self.partial_fit_batch(batch, rng)
+                else:
+                    labels = self._pruned_batch_labels(batch, indices, state)
+                    shift, drift_tables = self._apply_batch_update(
+                        batch, labels, collect_drift=True
+                    )
+                    state.advance(drift_tables)
+                smoothed_shift = shift if not np.isfinite(smoothed_shift) else (
+                    0.7 * smoothed_shift + 0.3 * shift
+                )
+                self.n_steps_ = step
+                if self.callback is not None:
+                    self.callback(0, step)
+                if smoothed_shift < self.reassignment_tol:
+                    break
+                # Snapshot only on continuing steps: a resumed run always
+                # has at least the terminal step left to do.
+                self._write_checkpoint(
+                    step, state, smoothed_shift, rng, fingerprint
+                )
+        except KeyboardInterrupt:
+            # Keep the last-completed-step model; protocentroids/counts
+            # advance in place per step, so whatever landed is consistent
+            # enough to finalize (mid-step interrupts leave a partially
+            # updated sweep — still a valid model to score).
+            interrupted = True
         self.labels_, distances = self._assign(X)
         self.inertia_ = float(distances.sum(dtype=np.float64))
+        self.converged_ = not interrupted
         return self
 
     def partial_fit(self, batch) -> "MiniBatchKhatriRaoKMeans":
@@ -312,6 +376,118 @@ class MiniBatchKhatriRaoKMeans:
         # Learning-rate bookkeeping stays float64 at any working dtype: the
         # counts only feed the scalar schedule eta = batch/total.
         self._counts = [np.zeros(h) for h in self.cardinalities]
+
+    # --------------------------------------------------------- checkpointing
+    def _param_header(self) -> dict:
+        """Configuration fingerprint a checkpoint must match to resume."""
+        return {
+            "cardinalities": [int(h) for h in self.cardinalities],
+            "aggregator": self.aggregator.name,
+            "batch_size": self.batch_size,
+            "max_steps": self.max_steps,
+            "reassignment_tol": self.reassignment_tol,
+            "assignment": self.assignment,
+            "update": self.update,
+            "pruning": self.pruning,
+            "dtype": np.dtype(self.dtype_).name,
+        }
+
+    def _write_checkpoint(
+        self, step, state, smoothed_shift, rng, fingerprint
+    ) -> None:
+        if self.checkpoint is None or not self.checkpoint.due(step):
+            return
+        header = {
+            "estimator": type(self).__name__,
+            "params": self._param_header(),
+            "data": fingerprint,
+            "step": step,
+            "smoothed_shift": float(smoothed_shift),
+            "rng_state": serialize_rng_state(rng),
+            "has_bounds": state is not None,
+            "cum_max": None if state is None else float(state.cum_max),
+        }
+        arrays = {}
+        for q, theta in enumerate(self.protocentroids_):
+            arrays[f"theta_{q}"] = theta
+        for q, counts in enumerate(self._counts):
+            arrays[f"counts_{q}"] = counts
+        if state is not None:
+            arrays["sb_known"] = state.known
+            arrays["sb_labels"] = state.labels
+            arrays["sb_upper"] = state.upper
+            arrays["sb_lower"] = state.lower
+            arrays["sb_u_anchor"] = state.u_anchor
+            arrays["sb_m_anchor"] = state.m_anchor
+            for q, cum in enumerate(state.cum):
+                arrays[f"sb_cum_{q}"] = cum
+            arrays["fractions"] = np.asarray(
+                self.reassignment_fractions_, dtype=np.float64
+            )
+        write_checkpoint(self.checkpoint.path, header, arrays)
+
+    def _load_checkpoint(self, rng, fingerprint, x_squared_norms, n_features):
+        """Verify and unpack ``resume_from``; restores the streaming state
+        (protocentroids, counts, bounds, fractions, RNG) in place.
+
+        Returns ``(state, smoothed_shift, start_step)``.
+        """
+        header, arrays = read_checkpoint(self.resume_from)
+        check_header_fields(
+            header,
+            {
+                "estimator": type(self).__name__,
+                "params": self._param_header(),
+                "data": fingerprint,
+            },
+            path=self.resume_from,
+        )
+        restore_rng_state(rng, header["rng_state"])
+        thetas = []
+        counts = []
+        for q in range(len(self.cardinalities)):
+            for prefix, into, dtype in (
+                ("theta_", thetas, self.dtype_), ("counts_", counts, np.float64),
+            ):
+                key = f"{prefix}{q}"
+                if key not in arrays:
+                    raise CheckpointError(
+                        f"{self.resume_from} is missing state array {key!r}",
+                        field=key,
+                    )
+                into.append(np.ascontiguousarray(arrays[key], dtype=dtype))
+        self.protocentroids_ = thetas
+        self._counts = counts
+        state = None
+        self.reassignment_fractions_ = None
+        if self.uses_pruning:
+            if not header.get("has_bounds"):
+                raise CheckpointError(
+                    f"{self.resume_from} carries no streaming bounds but the "
+                    "resuming estimator prunes", field="sb_known",
+                )
+            state = StreamingBounds(
+                x_squared_norms, n_features, self.cardinalities
+            )
+            state.known = np.ascontiguousarray(arrays["sb_known"], dtype=bool)
+            state.labels = np.ascontiguousarray(
+                arrays["sb_labels"], dtype=np.int64
+            )
+            for name in ("upper", "lower", "u_anchor", "m_anchor"):
+                setattr(state, name, np.ascontiguousarray(
+                    arrays[f"sb_{name}"], dtype=np.float64
+                ))
+            state.cum = [
+                np.ascontiguousarray(arrays[f"sb_cum_{q}"], dtype=np.float64)
+                for q in range(len(self.cardinalities))
+            ]
+            state.cum_max = float(header["cum_max"])
+            self.reassignment_fractions_ = [
+                float(f) for f in arrays["fractions"]
+            ]
+        step = int(header["step"])
+        self.n_steps_ = step
+        return state, float(header["smoothed_shift"]), step + 1
 
     def partial_fit_batch(self, batch: np.ndarray, rng: np.random.Generator) -> float:
         """One mini-batch step; returns the total squared protocentroid shift."""

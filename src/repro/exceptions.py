@@ -36,8 +36,62 @@ class SummaryFormatError(ValidationError):
         self.field = field
 
 
+class CheckpointError(ValidationError):
+    """A training checkpoint is malformed or inconsistent with the run.
+
+    Raised by :mod:`repro.runtime.checkpoint` when a snapshot archive is
+    truncated, fails its content digest, or records a configuration or
+    dataset fingerprint that contradicts the resuming estimator — resuming
+    from it would *not* reproduce the uninterrupted run, so the mismatch is
+    a typed error naming the offending :attr:`field`, never a silently
+    different model.  Subclasses :class:`ValidationError` so blanket
+    ``except ValidationError`` call sites keep working.
+    """
+
+    def __init__(self, message: str, *, field: str = None):
+        if field is not None:
+            message = f"{message} (field: {field!r})"
+        super().__init__(message)
+        self.field = field
+
+
 class NotFittedError(ReproError, RuntimeError):
     """An estimator was used before calling ``fit``."""
+
+
+class RestartFailedError(ReproError, RuntimeError):
+    """Too many ``n_init`` restarts died for the sweep to stand.
+
+    The restart executor (:mod:`repro.runtime.executor`) tolerates up to
+    ``max_failures`` restarts failing permanently (each after its bounded
+    retries); one failure beyond that raises this error.  :attr:`seeds`
+    records which restart seed indices died and :attr:`causes` the final
+    exception of each, so an operator can tell *which* streams are
+    poisoned rather than just that the sweep aborted.
+    """
+
+    def __init__(self, message: str, *, seeds=(), causes=()):
+        super().__init__(message)
+        self.seeds = tuple(seeds)
+        self.causes = tuple(causes)
+
+
+class QuorumError(ReproError, RuntimeError):
+    """A federated round fell below its ``min_clients`` participation quorum.
+
+    Raised by the federated ``fit`` loops when the round's participation
+    policy leaves fewer than ``min_clients`` survivors: aggregating over
+    too few shards would silently bias the global model, so the round
+    fails typed instead.  :attr:`round_index`, :attr:`participating` and
+    :attr:`required` carry the numbers.
+    """
+
+    def __init__(self, message: str, *, round_index: int = 0,
+                 participating: int = 0, required: int = 0):
+        super().__init__(message)
+        self.round_index = int(round_index)
+        self.participating = int(participating)
+        self.required = int(required)
 
 
 class ConvergenceWarning(UserWarning):

@@ -36,7 +36,7 @@ from .._validation import (
 from ..core._distances import assign_to_nearest
 from ..core._factored import assign_factored, grouped_row_sum
 from ..core._update import sum_sufficient_statistics
-from ..exceptions import NotFittedError, ValidationError
+from ..exceptions import NotFittedError, QuorumError, ValidationError
 from ..linalg import get_aggregator, khatri_rao_combine, resolve_working_dtype
 
 __all__ = ["FederatedKMeans", "KhatriRaoFederatedKMeans", "communication_cost_bytes"]
@@ -88,6 +88,18 @@ class FederatedKMeans:
         ``"float64"`` reproduces the paper's accounting bit for bit.
     random_state : None, int or Generator
         Source of randomness (initial centroid sampling, empty reseeds).
+    participation : None or callable
+        Per-round client participation policy
+        ``policy(round_index, n_clients) -> indices`` (an index array or a
+        boolean mask over clients).  Dropped clients are skipped for the
+        round and the aggregation renormalizes over the survivors; the
+        byte accounting only charges broadcasts actually sent.  ``None``
+        (default) keeps every client in every round.
+        :class:`repro.faults.DropoutSchedule` provides deterministic
+        schedules with exactly this signature.
+    min_clients : int
+        Quorum: the minimum number of participating clients a round needs.
+        A round below quorum raises :class:`repro.exceptions.QuorumError`.
 
     Attributes
     ----------
@@ -107,12 +119,16 @@ class FederatedKMeans:
         local_steps: int = 1,
         dtype="float64",
         random_state=None,
+        participation=None,
+        min_clients: int = 1,
     ) -> None:
         self.n_clusters = check_positive_int(n_clusters, "n_clusters")
         self.n_rounds = check_positive_int(n_rounds, "n_rounds")
         self.local_steps = check_positive_int(local_steps, "local_steps")
         self.dtype = check_dtype(dtype)
         self.random_state = random_state
+        self.participation = _check_participation(participation)
+        self.min_clients = check_positive_int(min_clients, "min_clients")
         self.cluster_centers_: Optional[np.ndarray] = None
         self.dtype_: Optional[np.dtype] = None
         self.history_ = _History()
@@ -131,16 +147,22 @@ class FederatedKMeans:
         self.initial_inertia_ = self._global_inertia(datas, centers)
         self.history_ = _History()
         cumulative_bytes = 0
-        for _ in range(self.n_rounds):
+        for round_index in range(self.n_rounds):
+            participants = _round_participants(
+                self.participation, round_index, len(datas), self.min_clients
+            )
             cumulative_bytes += communication_cost_bytes(
-                self.n_clusters, m, len(datas), 1, itemsize=self.dtype.itemsize
+                self.n_clusters, m, participants.size, 1,
+                itemsize=self.dtype.itemsize,
             )
             # Server-side merge accumulators stay float64 at any working
             # dtype (documented float64 island, docs/numerics.md); the
             # store into the working-dtype centers rounds once per round.
+            # Dropped clients contribute nothing: the quotient below is
+            # automatically renormalized over the surviving reports.
             sums = np.zeros((self.n_clusters, m))
             counts = np.zeros(self.n_clusters)
-            for X in datas:
+            for X in (datas[int(ci)] for ci in participants):
                 client_centers = centers.copy()
                 for _ in range(self.local_steps):
                     labels, _ = assign_to_nearest(X, client_centers)
@@ -158,7 +180,9 @@ class FederatedKMeans:
             centers[non_empty] = sums[non_empty] / counts[non_empty, None]
             empty = np.flatnonzero(~non_empty)
             if empty.size:
-                donor = datas[int(rng.integers(len(datas)))]
+                # Reseed only from shards that participated this round —
+                # a dropped client's data is unreachable by the server.
+                donor = datas[int(participants[int(rng.integers(participants.size))])]
                 centers[empty] = donor[rng.choice(donor.shape[0], size=empty.size)]
             self.history_.inertia.append(self._global_inertia(datas, centers))
             self.history_.communication_bytes.append(cumulative_bytes)
@@ -200,8 +224,9 @@ class KhatriRaoFederatedKMeans:
 
     Parameters mirror :class:`FederatedKMeans` (including the ``dtype``
     knob, resolved against the aggregator's ``working_dtypes`` capability
-    with a loud float64 fallback); ``aggregator`` defaults to the product,
-    as in the paper's case study.
+    with a loud float64 fallback, and the ``participation``/``min_clients``
+    dropout controls); ``aggregator`` defaults to the product, as in the
+    paper's case study.
     """
 
     def __init__(
@@ -213,6 +238,8 @@ class KhatriRaoFederatedKMeans:
         local_steps: int = 1,
         dtype="float64",
         random_state=None,
+        participation=None,
+        min_clients: int = 1,
     ) -> None:
         self.cardinalities = check_cardinalities(cardinalities)
         self.aggregator = get_aggregator(aggregator)
@@ -220,6 +247,8 @@ class KhatriRaoFederatedKMeans:
         self.local_steps = check_positive_int(local_steps, "local_steps")
         self.dtype = check_dtype(dtype)
         self.random_state = random_state
+        self.participation = _check_participation(participation)
+        self.min_clients = check_positive_int(min_clients, "min_clients")
         self.protocentroids_: Optional[List[np.ndarray]] = None
         self.dtype_: Optional[np.dtype] = None
         self.history_ = _History()
@@ -258,9 +287,13 @@ class KhatriRaoFederatedKMeans:
         self.history_ = _History()
         cumulative_bytes = 0
         is_product = self.aggregator.name == "product"
-        for _ in range(self.n_rounds):
+        for round_index in range(self.n_rounds):
+            participants = _round_participants(
+                self.participation, round_index, len(datas), self.min_clients
+            )
+            round_datas = [datas[int(ci)] for ci in participants]
             cumulative_bytes += communication_cost_bytes(
-                sum(self.cardinalities), m, len(datas), 1,
+                sum(self.cardinalities), m, participants.size, 1,
                 itemsize=working.itemsize,
             )
             for _ in range(self.local_steps):
@@ -271,7 +304,7 @@ class KhatriRaoFederatedKMeans:
                     # quotient rounds once into the working-dtype thetas.
                     numerator = np.zeros((h, m))
                     denominator = np.zeros((h, m)) if is_product else np.zeros(h)
-                    for X in datas:
+                    for X in round_datas:
                         labels = self._client_labels(X, thetas)
                         set_labels = np.stack(
                             np.unravel_index(labels, self.cardinalities), axis=1
@@ -350,6 +383,56 @@ class KhatriRaoFederatedKMeans:
         if not parts:
             return self.aggregator.identity((set_labels.shape[0], m))
         return self.aggregator.combine(parts)
+
+
+def _check_participation(participation):
+    if participation is not None and not callable(participation):
+        raise ValidationError(
+            "participation must be None or a callable "
+            "policy(round_index, n_clients) -> client indices"
+        )
+    return participation
+
+
+def _round_participants(
+    participation, round_index: int, n_clients: int, min_clients: int
+) -> np.ndarray:
+    """Resolve one round's participating client indices, enforcing quorum.
+
+    The policy may return an index array or a boolean mask over clients;
+    the result is normalized to sorted unique int64 indices so aggregation
+    order — and therefore the merged float64 sums — is deterministic for a
+    given schedule.
+    """
+    if participation is None:
+        participants = np.arange(n_clients, dtype=np.int64)
+    else:
+        raw = np.asarray(participation(round_index, n_clients))
+        if raw.dtype == bool:
+            if raw.shape != (n_clients,):
+                raise ValidationError(
+                    f"participation mask for round {round_index} must have "
+                    f"shape ({n_clients},), got {raw.shape}"
+                )
+            participants = np.flatnonzero(raw).astype(np.int64)
+        else:
+            participants = np.unique(raw.astype(np.int64, casting="unsafe").ravel())
+            if participants.size and (
+                participants[0] < 0 or participants[-1] >= n_clients
+            ):
+                raise ValidationError(
+                    f"participation indices for round {round_index} must lie "
+                    f"in [0, {n_clients}), got {participants.tolist()}"
+                )
+    if participants.size < min_clients:
+        raise QuorumError(
+            f"round {round_index} has {participants.size} participating "
+            f"client(s), below the min_clients={min_clients} quorum",
+            round_index=round_index,
+            participating=int(participants.size),
+            required=int(min_clients),
+        )
+    return participants
 
 
 def _validate_shards(shards, dtype=np.float64) -> List[np.ndarray]:

@@ -1,0 +1,45 @@
+"""Fault-tolerant training runtime.
+
+The execution layer under every estimator's ``fit``: atomic
+checkpoint/resume with bit-identical continuation
+(:mod:`~repro.runtime.checkpoint`) and supervised parallel ``n_init``
+restarts with retries, timeouts and deterministic selection
+(:mod:`~repro.runtime.executor`).  See ``docs/reliability.md`` for the
+operator-facing story.
+"""
+
+from .checkpoint import (
+    CheckpointConfig,
+    array_digest,
+    data_fingerprint,
+    read_checkpoint,
+    resolve_checkpoint,
+    restore_rng_state,
+    serialize_rng_state,
+    write_checkpoint,
+)
+from .executor import (
+    ExecutorConfig,
+    RestartFailure,
+    RestartOutcome,
+    RestartReport,
+    resolve_executor,
+    run_restarts,
+)
+
+__all__ = [
+    "CheckpointConfig",
+    "ExecutorConfig",
+    "RestartFailure",
+    "RestartOutcome",
+    "RestartReport",
+    "array_digest",
+    "data_fingerprint",
+    "read_checkpoint",
+    "resolve_checkpoint",
+    "resolve_executor",
+    "restore_rng_state",
+    "run_restarts",
+    "serialize_rng_state",
+    "write_checkpoint",
+]

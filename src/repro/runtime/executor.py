@@ -1,0 +1,378 @@
+"""Supervised parallel ``n_init`` restarts.
+
+The first leg of the ROADMAP's multi-core execution layer: the
+``n_init`` restart sweep every estimator runs sequentially today becomes
+a supervised pool of independent attempts — and because robustness is
+the whole point of supervision, failure handling is built in from day
+one rather than bolted on:
+
+* **independent streams** — each restart draws from its own
+  :meth:`rng.spawn <numpy.random.Generator.spawn>` child, so restarts
+  are order-independent and ``n_jobs=1`` and ``n_jobs=8`` consume
+  *identical* randomness (the parallel sweep is bit-identical to the
+  serial one by construction);
+* **bounded retries** — a restart that dies (any ``Exception``, or a
+  :class:`~repro.faults.WorkerKill` escaping ``except Exception``) is
+  retried up to ``max_retries`` times on a *fresh* spawned stream
+  (spawning reads the seed sequence, not the consumed stream, so retry
+  streams are deterministic no matter where the failure struck);
+* **per-restart timeouts** — a straggling attempt past ``timeout``
+  seconds is abandoned (threads cannot be killed; the stuck worker is
+  simply never awaited) and counted as a retryable failure;
+* **failure tolerance** — up to ``max_failures`` restarts may fail
+  permanently; one more raises a typed
+  :class:`~repro.exceptions.RestartFailedError` recording the dead seed
+  indices and their final causes;
+* **deterministic selection** — the winner is the minimum by
+  ``(inertia, seed_index)``, so the chosen model never depends on
+  completion order.
+
+Threads, not processes: every training kernel bottoms out in BLAS calls
+that release the GIL, and thread workers share ``X`` without pickling.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import RestartFailedError, ValidationError
+
+__all__ = [
+    "ExecutorConfig",
+    "RestartFailure",
+    "RestartOutcome",
+    "RestartReport",
+    "resolve_executor",
+    "run_restarts",
+]
+
+
+class ExecutorConfig:
+    """Supervision policy for a restart sweep.
+
+    Parameters
+    ----------
+    n_jobs : int
+        Worker threads.  ``1`` still runs through the pool so timeout
+        and retry semantics are identical at every width.
+    timeout : float, optional
+        Per-attempt wall-clock budget in seconds; an attempt past it is
+        abandoned and counted as a retryable failure.  ``None`` (default)
+        never times out.
+    max_retries : int
+        Retries per restart after its first attempt, each on a fresh
+        spawned stream.  Default 1.
+    max_failures : int
+        Restarts allowed to fail *permanently* (retries exhausted)
+        before the sweep itself fails typed.  Default 0 — any permanent
+        failure aborts.
+    fault_hook : callable, optional
+        ``fault_hook(seed_index, attempt)`` invoked on the worker at the
+        top of every attempt — the chaos seam
+        (:class:`~repro.faults.RestartFaultPlan`).
+    """
+
+    def __init__(
+        self,
+        n_jobs: int = 1,
+        *,
+        timeout: Optional[float] = None,
+        max_retries: int = 1,
+        max_failures: int = 0,
+        fault_hook: Optional[Callable[[int, int], None]] = None,
+    ):
+        n_jobs = int(n_jobs)
+        if n_jobs < 1:
+            raise ValidationError(f"n_jobs must be >= 1, got {n_jobs}")
+        if timeout is not None and float(timeout) <= 0:
+            raise ValidationError(f"timeout must be positive, got {timeout}")
+        if int(max_retries) < 0:
+            raise ValidationError(f"max_retries must be >= 0, got {max_retries}")
+        if int(max_failures) < 0:
+            raise ValidationError(f"max_failures must be >= 0, got {max_failures}")
+        self.n_jobs = n_jobs
+        self.timeout = None if timeout is None else float(timeout)
+        self.max_retries = int(max_retries)
+        self.max_failures = int(max_failures)
+        self.fault_hook = fault_hook
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutorConfig(n_jobs={self.n_jobs}, timeout={self.timeout}, "
+            f"max_retries={self.max_retries}, max_failures={self.max_failures})"
+        )
+
+
+def resolve_executor(value) -> Optional[ExecutorConfig]:
+    """Normalize an estimator's ``n_jobs`` knob.
+
+    ``None`` stays ``None`` (the legacy sequential path, bit-compatible
+    with every pre-runtime release); an int becomes
+    ``ExecutorConfig(n_jobs)``; a config passes through.
+    """
+    if value is None:
+        return None
+    if isinstance(value, ExecutorConfig):
+        return value
+    if isinstance(value, (int, np.integer)) and not isinstance(value, bool):
+        return ExecutorConfig(int(value))
+    raise ValidationError(
+        f"n_jobs must be None, an int, or an ExecutorConfig, got {value!r}"
+    )
+
+
+class RestartOutcome:
+    """One restart that finished: its score, payload, and how it got there."""
+
+    __slots__ = ("seed_index", "inertia", "payload", "attempts", "elapsed")
+
+    def __init__(self, seed_index, inertia, payload, attempts, elapsed):
+        self.seed_index = int(seed_index)
+        self.inertia = float(inertia)
+        self.payload = payload
+        self.attempts = int(attempts)
+        self.elapsed = float(elapsed)
+
+    def __repr__(self) -> str:
+        return (
+            f"RestartOutcome(seed_index={self.seed_index}, "
+            f"inertia={self.inertia:.6g}, attempts={self.attempts})"
+        )
+
+
+class RestartFailure:
+    """One restart that died permanently: which seed, after how many tries, why."""
+
+    __slots__ = ("seed_index", "attempts", "cause")
+
+    def __init__(self, seed_index, attempts, cause):
+        self.seed_index = int(seed_index)
+        self.attempts = int(attempts)
+        self.cause = cause
+
+    def __repr__(self) -> str:
+        return (
+            f"RestartFailure(seed_index={self.seed_index}, "
+            f"attempts={self.attempts}, cause={self.cause!r})"
+        )
+
+
+class RestartReport:
+    """Everything a sweep produced: outcomes, permanent failures, the winner.
+
+    :attr:`interrupted` is set when a ``KeyboardInterrupt`` stopped the
+    sweep early — completed outcomes are retained so the caller can keep
+    the best model found so far instead of losing the run.
+    """
+
+    def __init__(self, n_restarts: int):
+        self.n_restarts = int(n_restarts)
+        self.outcomes: List[RestartOutcome] = []
+        self.failures: List[RestartFailure] = []
+        self.interrupted = False
+
+    def best(self) -> RestartOutcome:
+        """The winning outcome: minimum ``(inertia, seed_index)``."""
+        if not self.outcomes:
+            raise RestartFailedError(
+                "no restart completed; nothing to select",
+                seeds=[f.seed_index for f in self.failures],
+                causes=[f.cause for f in self.failures],
+            )
+        return min(self.outcomes, key=lambda o: (o.inertia, o.seed_index))
+
+    def __repr__(self) -> str:
+        return (
+            f"RestartReport(n_restarts={self.n_restarts}, "
+            f"completed={len(self.outcomes)}, failed={len(self.failures)}, "
+            f"interrupted={self.interrupted})"
+        )
+
+
+class _Attempt:
+    """Bookkeeping for one in-flight attempt.
+
+    ``started``/``deadline`` are stamped by the *worker* when execution
+    actually begins, not at submission: the per-attempt budget covers
+    execution time only, so an attempt queued behind a straggler (whose
+    abandoned thread still occupies a worker slot) is not charged for the
+    wait.  Until the attempt starts, ``deadline`` is ``None`` and cannot
+    expire.
+    """
+
+    __slots__ = ("seed_index", "attempt", "gen", "timeout", "deadline",
+                 "started")
+
+    def __init__(self, seed_index, attempt, gen, timeout):
+        self.seed_index = seed_index
+        self.attempt = attempt
+        self.gen = gen
+        self.timeout = timeout
+        self.started = None
+        self.deadline = None
+
+    def mark_started(self) -> None:
+        self.started = time.monotonic()
+        if self.timeout is not None:
+            self.deadline = self.started + self.timeout
+
+
+def run_restarts(
+    run_one: Callable[[np.random.Generator, int], Tuple[float, object]],
+    n_restarts: int,
+    rng: np.random.Generator,
+    config: Optional[ExecutorConfig] = None,
+) -> RestartReport:
+    """Run ``n_restarts`` supervised attempts of ``run_one``; return the report.
+
+    ``run_one(gen, seed_index)`` must return ``(inertia, payload)`` and
+    draw all randomness from ``gen``.  Restart ``i`` runs on
+    ``rng.spawn(n_restarts)[i]``; a retry runs on the failed stream's
+    own spawned child — both deterministic functions of ``rng`` alone,
+    so the sweep's result is independent of ``n_jobs`` and completion
+    order.  Raises :class:`~repro.exceptions.RestartFailedError` when
+    permanent failures exceed ``config.max_failures``.
+
+    On ``KeyboardInterrupt`` the sweep stops scheduling, cancels pending
+    work, and returns the report with ``interrupted=True`` and every
+    already-completed outcome intact (abandoned worker threads are left
+    to finish on their own — threads cannot be killed).
+    """
+    if config is None:
+        config = ExecutorConfig()
+    n_restarts = int(n_restarts)
+    if n_restarts < 1:
+        raise ValidationError(f"n_restarts must be >= 1, got {n_restarts}")
+    report = RestartReport(n_restarts)
+    streams = rng.spawn(n_restarts)
+
+    def _attempt_body(info: _Attempt):
+        info.mark_started()
+        if config.fault_hook is not None:
+            config.fault_hook(info.seed_index, info.attempt)
+        return run_one(info.gen, info.seed_index)
+
+    pool = ThreadPoolExecutor(
+        max_workers=config.n_jobs, thread_name_prefix="repro-restart"
+    )
+    pending = {}  # future -> _Attempt
+    abandoned = set()  # timed-out futures we no longer await
+    interrupted = False
+    try:
+        queue = list(range(n_restarts))
+
+        def _launch(seed_index, attempt, gen):
+            info = _Attempt(seed_index, attempt, gen, config.timeout)
+            pending[pool.submit(_attempt_body, info)] = info
+
+        while queue and len(pending) < config.n_jobs:
+            i = queue.pop(0)
+            _launch(i, 0, streams[i])
+
+        while pending:
+            if config.timeout is None:
+                poll = None
+            else:
+                now = time.monotonic()
+                deadlines = [
+                    info.deadline for info in pending.values()
+                    if info.deadline is not None
+                ]
+                # No attempt running yet (all queued behind busy workers):
+                # poll briefly so freshly-started attempts pick up a real
+                # deadline on the next pass.
+                poll = (
+                    max(0.001, min(deadlines) - now) if deadlines else 0.05
+                )
+            done, _ = wait(list(pending), timeout=poll,
+                           return_when=FIRST_COMPLETED)
+
+            # Expired deadlines: abandon the stuck future (it keeps its
+            # worker thread until it returns on its own) and treat the
+            # attempt as a retryable failure.
+            now = time.monotonic()
+            expired = [
+                f for f, info in pending.items()
+                if f not in done
+                and info.deadline is not None and now >= info.deadline
+            ]
+            results = []
+            for f in done:
+                info = pending.pop(f)
+                try:
+                    results.append((info, f.result(), None))
+                except KeyboardInterrupt:
+                    raise
+                except BaseException as exc:  # includes WorkerKill
+                    results.append((info, None, exc))
+            for f in expired:
+                info = pending.pop(f)
+                abandoned.add(f)
+                results.append((
+                    info, None,
+                    TimeoutError(
+                        f"restart {info.seed_index} attempt {info.attempt} "
+                        f"exceeded its {config.timeout:g}s budget"
+                    ),
+                ))
+
+            # Deterministic handling order regardless of completion order.
+            results.sort(key=lambda r: (r[0].seed_index, r[0].attempt))
+            for info, value, exc in results:
+                if exc is None:
+                    inertia, payload = value
+                    report.outcomes.append(RestartOutcome(
+                        info.seed_index, inertia, payload,
+                        info.attempt + 1, time.monotonic() - info.started,
+                    ))
+                elif info.attempt < config.max_retries:
+                    _launch(info.seed_index, info.attempt + 1,
+                            info.gen.spawn(1)[0])
+                else:
+                    report.failures.append(RestartFailure(
+                        info.seed_index, info.attempt + 1, exc))
+
+            while queue and len(pending) < config.n_jobs:
+                i = queue.pop(0)
+                _launch(i, 0, streams[i])
+    except KeyboardInterrupt:
+        interrupted = True
+        for f in pending:
+            f.cancel()
+        # Harvest any attempt that finished before the interrupt landed.
+        for f, info in pending.items():
+            if f.done() and not f.cancelled():
+                try:
+                    inertia, payload = f.result()
+                except BaseException:
+                    continue
+                report.outcomes.append(RestartOutcome(
+                    info.seed_index, inertia, payload,
+                    info.attempt + 1, time.monotonic() - info.started,
+                ))
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    report.interrupted = interrupted
+    report.outcomes.sort(key=lambda o: o.seed_index)
+    report.failures.sort(key=lambda f: f.seed_index)
+    if not interrupted and len(report.failures) > config.max_failures:
+        raise RestartFailedError(
+            f"{len(report.failures)} of {n_restarts} restarts failed "
+            f"permanently (tolerance max_failures={config.max_failures}); "
+            f"dead seed indices: "
+            f"{[f.seed_index for f in report.failures]}",
+            seeds=[f.seed_index for f in report.failures],
+            causes=[f.cause for f in report.failures],
+        )
+    if not interrupted and not report.outcomes:
+        raise RestartFailedError(
+            "no restart completed",
+            seeds=[f.seed_index for f in report.failures],
+            causes=[f.cause for f in report.failures],
+        )
+    return report

@@ -1,9 +1,11 @@
 """Deterministic fault injection for the serving resilience layer.
 
-The chaos suite needs the serving stack to fail *on schedule*: the same
-seed must produce the same sequence of kernel faults, worker kills,
-hangs and registry evictions on every run, so the resolve-every-ticket
-invariant is a reproducible assertion rather than a flaky observation.
+The fault *vocabulary* — :class:`Fault`, :class:`FaultSchedule`,
+:class:`InjectedKernelError`, :class:`WorkerKill` — lives in
+:mod:`repro.faults`, the fault plane shared with the training runtime,
+and is re-exported here unchanged so pre-existing imports keep working.
+What stays serving-specific is :class:`FaultInjector`: the binding of
+schedules to the batcher's ``fault_hook``.
 
 The injection point is the batcher's ``fault_hook`` — a callable the
 worker invokes at the top of every batch execution, *before* the model
@@ -11,22 +13,6 @@ is resolved (so an ``evict`` fault exercises the submitted-then-evicted
 path) and inside the same try/except as the kernel call (so a ``raise``
 fault flows through the real failure plumbing: ticket failure, circuit
 breaker accounting, masked-500 HTTP mapping).
-
-Vocabulary (one :class:`Fault` per batch execution, in call order):
-
-========== ==========================================================
-``ok``       no interference
-``raise``    raise :class:`InjectedKernelError` — looks like an
-             unexpected kernel crash (not a ``ReproError``), so HTTP
-             masks it as a 500 and the breaker counts it
-``sleep``    ``time.sleep(seconds)`` on the worker thread — a hung
-             kernel, for deadline/watchdog-hang testing
-``kill``     raise :class:`WorkerKill` (a ``BaseException``) — escapes
-             the worker's ``except Exception`` and kills the thread,
-             stranding the in-flight batch for the watchdog
-``evict``    evict the batch's model from the registry mid-flight, then
-             proceed — the batch fails with ``ModelNotFoundError``
-========== ==========================================================
 
 Build schedules explicitly (:meth:`FaultSchedule.from_spec`) when a test
 needs a precise scenario, or randomly (:meth:`FaultSchedule.random`)
@@ -37,10 +23,9 @@ schedule to a batcher and records what actually fired.
 from __future__ import annotations
 
 import threading
-import time
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Tuple
 
-import numpy as np
+from ..faults import Fault, FaultSchedule, InjectedKernelError, WorkerKill
 
 __all__ = [
     "Fault",
@@ -49,122 +34,6 @@ __all__ = [
     "InjectedKernelError",
     "WorkerKill",
 ]
-
-
-class InjectedKernelError(RuntimeError):
-    """A scheduled kernel failure.
-
-    Deliberately *not* a :class:`~repro.exceptions.ReproError`: an
-    unexpected kernel crash is exactly what the masking (HTTP 500
-    ``InternalError``) and circuit-breaker paths exist for.
-    """
-
-
-class WorkerKill(BaseException):
-    """A scheduled worker death.
-
-    A ``BaseException`` so it escapes the worker loop's
-    ``except Exception`` and kills the thread — the in-flight batch is
-    stranded for the :class:`~repro.serving.resilience.Watchdog` to reap.
-    """
-
-
-class Fault:
-    """One scheduled action. ``kind`` ∈ {ok, raise, sleep, kill, evict}."""
-
-    KINDS = ("ok", "raise", "sleep", "kill", "evict")
-    __slots__ = ("kind", "seconds")
-
-    def __init__(self, kind: str, seconds: float = 0.0):
-        if kind not in self.KINDS:
-            raise ValueError(f"fault kind must be one of {self.KINDS}, got {kind!r}")
-        self.kind = kind
-        self.seconds = float(seconds)
-
-    def __repr__(self) -> str:
-        if self.kind == "sleep":
-            return f"Fault('sleep', {self.seconds:g})"
-        return f"Fault({self.kind!r})"
-
-
-_SpecValue = Union[str, Fault, Tuple[str, float]]
-
-
-def _as_fault(value: _SpecValue) -> Fault:
-    if isinstance(value, Fault):
-        return value
-    if isinstance(value, tuple):
-        return Fault(value[0], value[1])
-    return Fault(value)
-
-
-class FaultSchedule:
-    """A deterministic call-index → :class:`Fault` mapping.
-
-    Indices count batch executions (per injector, starting at 0); any
-    index without an entry is ``ok``.  Optionally scoped to one model so
-    a "poisoned model" schedule leaves its neighbors healthy.
-    """
-
-    def __init__(
-        self,
-        faults: Dict[int, Fault],
-        *,
-        model: Optional[str] = None,
-    ):
-        self.faults = {int(i): _as_fault(f) for i, f in faults.items()}
-        self.model = model
-
-    @classmethod
-    def from_spec(
-        cls,
-        spec: Dict[int, _SpecValue],
-        *,
-        model: Optional[str] = None,
-    ) -> "FaultSchedule":
-        """E.g. ``FaultSchedule.from_spec({0: "raise", 3: ("sleep", 0.05)})``."""
-        return cls({i: _as_fault(v) for i, v in spec.items()}, model=model)
-
-    @classmethod
-    def always(cls, kind: str, *, model: Optional[str] = None,
-               seconds: float = 0.0) -> "FaultSchedule":
-        """Every matching call gets the same fault (``faults`` is a view
-        that answers any index)."""
-        schedule = cls({}, model=model)
-        schedule._always = Fault(kind, seconds)
-        return schedule
-
-    @classmethod
-    def random(
-        cls,
-        seed: int,
-        n_calls: int,
-        *,
-        p_raise: float = 0.15,
-        p_sleep: float = 0.05,
-        p_kill: float = 0.05,
-        sleep_s: float = 0.05,
-        model: Optional[str] = None,
-    ) -> "FaultSchedule":
-        """A seeded random mix over ``n_calls`` executions (the soak shape)."""
-        rng = np.random.default_rng(seed)
-        faults: Dict[int, Fault] = {}
-        for i in range(int(n_calls)):
-            u = float(rng.random())
-            if u < p_raise:
-                faults[i] = Fault("raise")
-            elif u < p_raise + p_sleep:
-                faults[i] = Fault("sleep", sleep_s)
-            elif u < p_raise + p_sleep + p_kill:
-                faults[i] = Fault("kill")
-        return cls(faults, model=model)
-
-    _always: Optional[Fault] = None
-
-    def fault_for(self, index: int) -> Fault:
-        if self._always is not None:
-            return self._always
-        return self.faults.get(index, Fault("ok"))
 
 
 class FaultInjector:
@@ -216,17 +85,14 @@ class FaultInjector:
                 self.fired.append((action[1], model, op, action[0].kind))
         if action is None:
             return
-        fault = action[0]
-        if fault.kind == "raise":
-            raise InjectedKernelError(
-                f"injected kernel fault #{action[1]} for model {model!r}"
-            )
-        if fault.kind == "sleep":
-            time.sleep(fault.seconds)
-        elif fault.kind == "kill":
-            raise WorkerKill(f"injected worker kill #{action[1]}")
-        elif fault.kind == "evict":
+        fault, index = action
+        if fault.kind == "evict":
+            # The one context-bound fault: evict the batch's model from
+            # the registry mid-flight, then proceed — the batch fails
+            # with ModelNotFoundError through the real plumbing.
             self.batcher.registry.evict(model)
+            return
+        fault.apply(f"#{index} for model {model!r}")
 
     # ------------------------------------------------------------ attaching
     def install(self) -> "FaultInjector":

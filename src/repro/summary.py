@@ -23,6 +23,7 @@ Examples
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Union
@@ -36,6 +37,7 @@ from .core._update import resolve_update, update_protocentroids
 from .core.kmeans import _check_sample_weight
 from .exceptions import SummaryFormatError, ValidationError
 from .linalg import get_aggregator, khatri_rao_combine
+from .runtime.checkpoint import array_digest
 
 __all__ = ["DataSummary", "summarize"]
 
@@ -255,9 +257,26 @@ class DataSummary:
         return "\n".join(lines)
 
     # ---------------------------------------------------------- persistence
-    def save(self, path: Union[str, Path]) -> Path:
-        """Serialize to a ``.npz`` file; returns the written path."""
+    def save(self, path: Union[str, Path], *, fault_hook=None) -> Path:
+        """Serialize to a ``.npz`` file atomically; returns the written path.
+
+        The archive is written to a ``.tmp`` sibling and moved into place
+        with :func:`os.replace`, so a crash mid-save never leaves a torn
+        archive at ``path`` — either the previous file survives intact or
+        the new one is complete.  The header embeds a SHA-256 digest of
+        every protocentroid set, which :meth:`load` verifies; a bit-flipped
+        or truncated-then-patched archive fails typed instead of serving
+        corrupt centroids.
+
+        ``fault_hook``, if given, is called with a stage name (``"write"``
+        before the bytes go out, ``"replace"`` before the atomic rename)
+        and may raise to simulate a crash at that point — the seam the
+        artifact-integrity chaos tests drive.
+        """
         path = Path(path)
+        # np.savez appends .npz to bare *filenames*; we resolve the final
+        # name up front because the atomic rename needs to know it.
+        final = path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
         arrays = {
             f"protocentroids_{q}": theta
             for q, theta in enumerate(self.protocentroids)
@@ -275,12 +294,28 @@ class DataSummary:
                 "n_features": self.n_features,
                 "dtype": self.dtype.name,
                 "metadata": self.metadata,
+                "checksums": {key: array_digest(a) for key, a in arrays.items()},
             }
         )
-        np.savez(path, header=np.frombuffer(header.encode("utf-8"), dtype=np.uint8),
-                 **arrays)
-        # np.savez appends .npz when missing.
-        return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+        tmp = final.with_name(final.name + ".tmp")
+        try:
+            if fault_hook is not None:
+                fault_hook("write")
+            with open(tmp, "wb") as handle:
+                np.savez(
+                    handle,
+                    header=np.frombuffer(header.encode("utf-8"), dtype=np.uint8),
+                    **arrays,
+                )
+                handle.flush()
+                os.fsync(handle.fileno())
+            if fault_hook is not None:
+                fault_hook("replace")
+            os.replace(tmp, final)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+        return final
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "DataSummary":
@@ -362,6 +397,26 @@ class DataSummary:
                         "expected a non-empty 2-D array", field=key,
                     )
                 protocentroids.append(theta)
+
+            # Content-integrity check: archives written by save() carry a
+            # SHA-256 digest per set.  Older archives without the field
+            # skip verification (back-compat), but a present-and-wrong
+            # digest is always a hard typed failure — never serve silently
+            # corrupt centroids.
+            checksums = header.get("checksums")
+            if checksums is not None:
+                if not isinstance(checksums, dict):
+                    raise SummaryFormatError(
+                        f"{path} header checksums must be a JSON object, got "
+                        f"{type(checksums).__name__}", field="checksum",
+                    )
+                for q, theta in enumerate(protocentroids):
+                    key = f"protocentroids_{q}"
+                    if checksums.get(key) != array_digest(theta):
+                        raise SummaryFormatError(
+                            f"{path}: SHA-256 digest mismatch for {key} — "
+                            "the archive content is corrupt", field="checksum",
+                        )
 
             # Cross-check the redundant header fields (written since they
             # were introduced; absent in older archives, which skip this).

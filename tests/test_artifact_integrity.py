@@ -1,0 +1,142 @@
+"""Artifact integrity: atomic summary saves and content checksums.
+
+A crash at any point of :meth:`DataSummary.save` must never leave a torn
+archive where a good one stood, and a corrupted archive must never load
+silently — the registry serves whatever :meth:`DataSummary.load` returns,
+so corruption has to die at the load boundary with the offending field
+named.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SummaryFormatError
+from repro.faults import FaultHook, FaultSchedule, WorkerKill
+from repro.summary import DataSummary
+
+
+@pytest.fixture
+def summary():
+    rng = np.random.default_rng(0)
+    return DataSummary(
+        [rng.normal(size=(3, 5)), rng.normal(size=(2, 5))],
+        aggregator_name="sum",
+        metadata={"dataset": "unit"},
+    )
+
+
+def _archive_payload(path):
+    with np.load(path) as archive:
+        return {key: archive[key] for key in archive.files}
+
+
+def _rewrite(path, payload):
+    np.savez(path, **payload)
+
+
+# ------------------------------------------------------------------ atomic
+def test_save_is_atomic_and_round_trips(summary, tmp_path):
+    path = summary.save(tmp_path / "artifact.npz")
+    assert path == tmp_path / "artifact.npz"
+    assert not (tmp_path / "artifact.npz.tmp").exists()
+    loaded = DataSummary.load(path)
+    for a, b in zip(summary.protocentroids, loaded.protocentroids):
+        assert np.array_equal(a, b)
+    assert loaded.metadata == summary.metadata
+
+
+def test_save_resolves_suffixless_paths(summary, tmp_path):
+    path = summary.save(tmp_path / "bare")
+    assert path.name == "bare.npz" and path.exists()
+
+
+@pytest.mark.parametrize("stage", ["write", "replace"])
+def test_crash_during_save_preserves_previous_artifact(summary, tmp_path, stage):
+    path = summary.save(tmp_path / "artifact.npz")
+    before = path.read_bytes()
+
+    class Crash(Exception):
+        pass
+
+    def crash_at(current_stage):
+        if current_stage == stage:
+            raise Crash
+
+    with pytest.raises(Crash):
+        summary.astype("float32").save(path, fault_hook=crash_at)
+    assert path.read_bytes() == before
+    assert not (tmp_path / "artifact.npz.tmp").exists()
+    DataSummary.load(path)  # and it still loads cleanly
+
+
+def test_worker_kill_mid_save_leaves_no_partial_file(summary, tmp_path):
+    """The satellite drill: a scheduled kill tears save() down mid-write."""
+    hook = FaultHook(FaultSchedule.from_spec({0: "kill"}))
+    target = tmp_path / "fresh.npz"
+    with pytest.raises(WorkerKill):
+        summary.save(target, fault_hook=hook)
+    assert hook.fired == [(0, "'write'", "kill")]
+    assert not target.exists()
+    assert not target.with_name("fresh.npz.tmp").exists()
+
+    # A later kill (at the rename) still never exposes a torn archive.
+    hook = FaultHook(FaultSchedule.from_spec({1: "kill"}))
+    with pytest.raises(WorkerKill):
+        summary.save(target, fault_hook=hook)
+    assert not target.exists()
+    assert not target.with_name("fresh.npz.tmp").exists()
+
+
+# --------------------------------------------------------------- checksums
+def test_header_carries_checksums(summary, tmp_path):
+    path = summary.save(tmp_path / "artifact.npz")
+    payload = _archive_payload(path)
+    header = json.loads(bytes(payload["header"]).decode())
+    assert set(header["checksums"]) == {
+        "protocentroids_0", "protocentroids_1"
+    }
+    for digest in header["checksums"].values():
+        assert len(digest) == 64  # hex SHA-256
+
+
+def test_bit_flip_is_detected_at_load(summary, tmp_path):
+    path = summary.save(tmp_path / "artifact.npz")
+    payload = _archive_payload(path)
+    payload["protocentroids_1"] = payload["protocentroids_1"].copy()
+    payload["protocentroids_1"][0, 0] += 1e-9
+    _rewrite(path, payload)
+    with pytest.raises(SummaryFormatError) as excinfo:
+        DataSummary.load(path)
+    assert excinfo.value.field == "checksum"
+
+
+def test_malformed_checksums_field_is_typed(summary, tmp_path):
+    path = summary.save(tmp_path / "artifact.npz")
+    payload = _archive_payload(path)
+    header = json.loads(bytes(payload["header"]).decode())
+    header["checksums"] = ["not", "a", "mapping"]
+    payload["header"] = np.frombuffer(
+        json.dumps(header).encode(), dtype=np.uint8
+    )
+    _rewrite(path, payload)
+    with pytest.raises(SummaryFormatError) as excinfo:
+        DataSummary.load(path)
+    assert excinfo.value.field == "checksum"
+
+
+def test_legacy_archive_without_checksums_still_loads(summary, tmp_path):
+    path = summary.save(tmp_path / "artifact.npz")
+    payload = _archive_payload(path)
+    header = json.loads(bytes(payload["header"]).decode())
+    del header["checksums"]
+    payload["header"] = np.frombuffer(
+        json.dumps(header).encode(), dtype=np.uint8
+    )
+    _rewrite(path, payload)
+    loaded = DataSummary.load(path)
+    for a, b in zip(summary.protocentroids, loaded.protocentroids):
+        assert np.array_equal(a, b)

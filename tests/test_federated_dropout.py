@@ -1,0 +1,202 @@
+"""Federated client dropout: participation policies, quorum, renormalization.
+
+A federated round must tolerate clients vanishing: the aggregation
+renormalizes over the survivors (a dropped client contributes nothing —
+not stale statistics), byte accounting only charges broadcasts actually
+sent, and a round below the ``min_clients`` quorum fails typed instead of
+silently aggregating a biased model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import QuorumError, ValidationError
+from repro.faults import DropoutSchedule
+from repro.federated import (
+    FederatedKMeans,
+    KhatriRaoFederatedKMeans,
+    communication_cost_bytes,
+)
+
+
+@pytest.fixture
+def shards():
+    rng = np.random.default_rng(0)
+    return [(rng.normal(size=(40, 6)), None) for _ in range(5)]
+
+
+def _per_round_bytes(model):
+    return np.diff([0] + model.history_.communication_bytes).tolist()
+
+
+# ------------------------------------------------------------- back-compat
+def test_full_participation_is_bit_compatible(shards):
+    legacy = FederatedKMeans(4, n_rounds=4, random_state=7).fit(shards)
+    explicit = FederatedKMeans(
+        4, n_rounds=4, random_state=7, participation=None, min_clients=1
+    ).fit(shards)
+    assert np.array_equal(legacy.cluster_centers_, explicit.cluster_centers_)
+    assert legacy.history_.inertia == explicit.history_.inertia
+    assert (legacy.history_.communication_bytes
+            == explicit.history_.communication_bytes)
+
+
+def test_kr_full_participation_is_bit_compatible(shards):
+    legacy = KhatriRaoFederatedKMeans(
+        [2, 3], n_rounds=3, random_state=3
+    ).fit(shards)
+    explicit = KhatriRaoFederatedKMeans(
+        [2, 3], n_rounds=3, random_state=3, participation=None
+    ).fit(shards)
+    for a, b in zip(legacy.protocentroids_, explicit.protocentroids_):
+        assert np.array_equal(a, b)
+    assert legacy.history_.inertia == explicit.history_.inertia
+
+
+# ----------------------------------------------------------------- dropout
+def test_bytes_account_only_surviving_broadcasts(shards):
+    schedule = DropoutSchedule.from_spec({1: [0, 2], 3: [4]})
+    model = FederatedKMeans(
+        4, n_rounds=4, random_state=7, participation=schedule
+    ).fit(shards)
+    per_client = communication_cost_bytes(4, 6, 1, 1)
+    assert _per_round_bytes(model) == [
+        5 * per_client, 3 * per_client, 5 * per_client, 4 * per_client
+    ]
+
+
+def test_kr_bytes_account_only_surviving_broadcasts(shards):
+    schedule = DropoutSchedule.from_spec({1: [0, 2], 2: [4]})
+    model = KhatriRaoFederatedKMeans(
+        [2, 3], n_rounds=3, random_state=3, participation=schedule
+    ).fit(shards)
+    per_client = communication_cost_bytes(5, 6, 1, 1)
+    assert _per_round_bytes(model) == [
+        5 * per_client, 3 * per_client, 4 * per_client
+    ]
+
+
+def test_dropped_client_cannot_influence_the_model():
+    """Renormalization: a permanently dropped outlier shard leaves no trace."""
+    rng = np.random.default_rng(1)
+    near = [(rng.normal(size=(50, 3)), None) for _ in range(3)]
+    outlier = (rng.normal(loc=1000.0, size=(50, 3)), None)
+    schedule = DropoutSchedule.from_spec(
+        {r: [3] for r in range(6)}
+    )
+    model = FederatedKMeans(
+        3, n_rounds=6, random_state=5, participation=schedule
+    ).fit(near + [outlier])
+    # Every aggregated center stays in the participating clients' range;
+    # had client 3's statistics leaked in, at least one center would sit
+    # near 1000 (or be dragged far from the origin blob).
+    assert np.all(np.abs(model.cluster_centers_) < 100.0)
+
+
+def test_inertia_history_still_covers_all_shards(shards):
+    # Dropped clients skip *aggregation*, not evaluation: the per-round
+    # global inertia keeps measuring the full federation.
+    schedule = DropoutSchedule.from_spec({0: [1], 1: [1], 2: [1]})
+    model = FederatedKMeans(
+        4, n_rounds=3, random_state=7, participation=schedule
+    ).fit(shards)
+    assert len(model.history_.inertia) == 3
+    evaluated = model.history_.inertia[-1]
+    manual = 0.0
+    for X, _ in shards:
+        labels = model.predict(X)
+        manual += float(
+            ((np.asarray(X) - model.cluster_centers_[labels]) ** 2).sum()
+        )
+    assert evaluated == pytest.approx(manual, rel=1e-9)
+
+
+def test_random_dropout_schedule_is_deterministic(shards):
+    schedule = DropoutSchedule.random(seed=11, n_rounds=5, n_clients=5,
+                                      p_drop=0.4)
+    fits = [
+        KhatriRaoFederatedKMeans(
+            [2, 2], aggregator="sum", n_rounds=5, random_state=1,
+            participation=schedule,
+        ).fit(shards)
+        for _ in range(2)
+    ]
+    assert fits[0].history_.inertia == fits[1].history_.inertia
+    assert (fits[0].history_.communication_bytes
+            == fits[1].history_.communication_bytes)
+    for a, b in zip(fits[0].protocentroids_, fits[1].protocentroids_):
+        assert np.array_equal(a, b)
+
+
+def test_boolean_mask_policies_are_accepted(shards):
+    def mask_policy(round_index, n_clients):
+        mask = np.ones(n_clients, dtype=bool)
+        mask[round_index % n_clients] = False
+        return mask
+
+    model = FederatedKMeans(
+        3, n_rounds=2, random_state=0, participation=mask_policy
+    ).fit(shards)
+    per_client = communication_cost_bytes(3, 6, 1, 1)
+    assert _per_round_bytes(model) == [4 * per_client, 4 * per_client]
+
+
+# ------------------------------------------------------------------ quorum
+def test_quorum_violation_is_typed(shards):
+    schedule = DropoutSchedule.from_spec({1: [0, 1, 2, 3]})
+    with pytest.raises(QuorumError) as excinfo:
+        FederatedKMeans(
+            4, n_rounds=3, random_state=7, participation=schedule,
+            min_clients=2,
+        ).fit(shards)
+    assert excinfo.value.round_index == 1
+    assert excinfo.value.participating == 1
+    assert excinfo.value.required == 2
+
+
+def test_kr_quorum_violation_is_typed(shards):
+    schedule = DropoutSchedule.from_spec({0: [0, 1, 2, 3, 4]})
+    with pytest.raises(QuorumError):
+        KhatriRaoFederatedKMeans(
+            [2, 3], n_rounds=2, random_state=3, participation=schedule,
+        ).fit(shards)
+
+
+def test_quorum_error_is_a_runtime_error(shards):
+    schedule = DropoutSchedule.from_spec({0: [0, 1, 2, 3]})
+    with pytest.raises(RuntimeError):
+        FederatedKMeans(
+            2, n_rounds=1, random_state=0, participation=schedule,
+            min_clients=3,
+        ).fit(shards)
+
+
+# -------------------------------------------------------------- validation
+def test_participation_must_be_callable():
+    with pytest.raises(ValidationError):
+        FederatedKMeans(3, participation="half")
+    with pytest.raises(ValidationError):
+        KhatriRaoFederatedKMeans([2, 2], participation=0.5)
+
+
+def test_min_clients_must_be_positive():
+    with pytest.raises(ValidationError):
+        FederatedKMeans(3, min_clients=0)
+
+
+def test_out_of_range_indices_are_rejected(shards):
+    with pytest.raises(ValidationError):
+        FederatedKMeans(
+            3, n_rounds=1, random_state=0,
+            participation=lambda r, n: [0, 99],
+        ).fit(shards)
+
+
+def test_wrong_shape_mask_is_rejected(shards):
+    with pytest.raises(ValidationError):
+        FederatedKMeans(
+            3, n_rounds=1, random_state=0,
+            participation=lambda r, n: np.ones(2, dtype=bool),
+        ).fit(shards)

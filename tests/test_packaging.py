@@ -30,6 +30,11 @@ def test_serving_subpackage_is_picked_up():
     assert "repro.serving" in found
 
 
+def test_runtime_subpackage_is_picked_up():
+    found = set(setuptools.find_packages(str(_SRC)))
+    assert "repro.runtime" in found
+
+
 def test_no_orphan_modules_outside_a_package():
     """Every .py under src/ must live in a directory with __init__.py —
     otherwise find_packages would drop it from the distribution."""

@@ -1,0 +1,173 @@
+"""Supervised parallel restarts: determinism, retries, timeouts, tolerance.
+
+The executor's contract is that supervision is *invisible* in the result:
+``n_jobs=1`` and ``n_jobs=8`` consume identical randomness and select the
+same winner, retries draw deterministic fresh streams keyed by the failed
+restart (not by wall-clock), and every permanent failure surfaces as a
+typed :class:`~repro.exceptions.RestartFailedError` naming the dead seeds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RestartFailedError, ValidationError
+from repro.faults import InjectedKernelError, RestartFaultPlan, WorkerKill
+from repro.runtime import ExecutorConfig, resolve_executor, run_restarts
+
+
+def toy_run(gen: np.random.Generator, seed_index: int):
+    """A deterministic stand-in for one Lloyd restart."""
+    draws = gen.normal(size=8)
+    inertia = float(np.sum(draws**2))
+    return inertia, {"seed_index": seed_index, "draws": draws}
+
+
+def _outcome_signature(report):
+    return [
+        (o.seed_index, o.inertia, o.payload["draws"].tolist())
+        for o in report.outcomes
+    ]
+
+
+# ------------------------------------------------------------ determinism
+@pytest.mark.parametrize("n_jobs", [1, 2, 4])
+def test_parallel_identical_to_serial(n_jobs):
+    serial = run_restarts(toy_run, 6, np.random.default_rng(0),
+                          ExecutorConfig(1))
+    parallel = run_restarts(toy_run, 6, np.random.default_rng(0),
+                            ExecutorConfig(n_jobs))
+    assert _outcome_signature(parallel) == _outcome_signature(serial)
+    assert parallel.best().seed_index == serial.best().seed_index
+    assert parallel.best().inertia == serial.best().inertia
+
+
+def test_selection_breaks_ties_by_seed_index():
+    def tied(gen, seed_index):
+        gen.normal()  # still consume the stream
+        return 1.0, seed_index
+
+    report = run_restarts(tied, 5, np.random.default_rng(0), ExecutorConfig(4))
+    assert report.best().seed_index == 0
+
+
+def test_retry_streams_are_deterministic():
+    """A retried restart lands on the same model no matter the width."""
+    reports = []
+    for n_jobs in (1, 4):
+        plan = RestartFaultPlan({(2, 0): "raise"})
+        reports.append(run_restarts(
+            toy_run, 5, np.random.default_rng(3),
+            ExecutorConfig(n_jobs, max_retries=1, fault_hook=plan),
+        ))
+        assert plan.fired == [(2, 0, "raise")]
+    assert _outcome_signature(reports[0]) == _outcome_signature(reports[1])
+    retried = [o for o in reports[0].outcomes if o.seed_index == 2][0]
+    assert retried.attempts == 2
+    clean = run_restarts(toy_run, 5, np.random.default_rng(3),
+                         ExecutorConfig(1))
+    # The retry consumed a fresh spawned stream, not restart 2's original.
+    clean_2 = [o for o in clean.outcomes if o.seed_index == 2][0]
+    assert retried.inertia != clean_2.inertia
+    # ... and every other restart is untouched by the failure.
+    assert [o.inertia for o in reports[0].outcomes if o.seed_index != 2] == \
+        [o.inertia for o in clean.outcomes if o.seed_index != 2]
+
+
+# ------------------------------------------------------- failure handling
+def test_worker_kill_escapes_except_exception_but_is_retried():
+    plan = RestartFaultPlan({(1, 0): "kill"})
+    report = run_restarts(
+        toy_run, 3, np.random.default_rng(1),
+        ExecutorConfig(2, max_retries=1, fault_hook=plan),
+    )
+    assert len(report.outcomes) == 3 and not report.failures
+    assert [o.attempts for o in report.outcomes] == [1, 2, 1]
+
+
+def test_exhausted_retries_raise_typed_error():
+    plan = RestartFaultPlan({(1, 0): "kill", (1, 1): "raise"})
+    with pytest.raises(RestartFailedError) as excinfo:
+        run_restarts(
+            toy_run, 3, np.random.default_rng(1),
+            ExecutorConfig(2, max_retries=1, fault_hook=plan),
+        )
+    assert excinfo.value.seeds == (1,)
+    assert isinstance(excinfo.value.causes[0], InjectedKernelError)
+
+
+def test_max_failures_tolerates_dead_restarts():
+    plan = RestartFaultPlan({(1, 0): "raise", (1, 1): "raise"})
+    report = run_restarts(
+        toy_run, 4, np.random.default_rng(1),
+        ExecutorConfig(2, max_retries=1, max_failures=1, fault_hook=plan),
+    )
+    assert [o.seed_index for o in report.outcomes] == [0, 2, 3]
+    assert len(report.failures) == 1
+    assert report.failures[0].seed_index == 1
+    assert report.failures[0].attempts == 2
+    # The survivors still selected deterministically.
+    clean = run_restarts(toy_run, 4, np.random.default_rng(1),
+                         ExecutorConfig(1))
+    surviving = {o.seed_index: o.inertia for o in clean.outcomes
+                 if o.seed_index != 1}
+    assert {o.seed_index: o.inertia for o in report.outcomes} == surviving
+
+
+def test_timeout_abandons_straggler_and_retries():
+    plan = RestartFaultPlan({(0, 0): ("sleep", 5.0)})
+    report = run_restarts(
+        toy_run, 3, np.random.default_rng(7),
+        ExecutorConfig(2, timeout=0.2, max_retries=1, fault_hook=plan),
+    )
+    assert len(report.outcomes) == 3 and not report.failures
+    straggler = [o for o in report.outcomes if o.seed_index == 0][0]
+    assert straggler.attempts == 2
+
+
+def test_timeout_without_retry_is_a_typed_failure():
+    plan = RestartFaultPlan({(0, 0): ("sleep", 5.0)})
+    with pytest.raises(RestartFailedError) as excinfo:
+        run_restarts(
+            toy_run, 2, np.random.default_rng(7),
+            ExecutorConfig(2, timeout=0.2, max_retries=0, fault_hook=plan),
+        )
+    assert excinfo.value.seeds == (0,)
+    assert isinstance(excinfo.value.causes[0], TimeoutError)
+
+
+def test_keyboard_interrupt_keeps_completed_outcomes():
+    state = {"runs": 0}
+
+    def interrupting(gen, seed_index):
+        state["runs"] += 1
+        if seed_index == 2:
+            raise KeyboardInterrupt
+        return toy_run(gen, seed_index)
+
+    report = run_restarts(interrupting, 4, np.random.default_rng(0),
+                          ExecutorConfig(1))
+    assert report.interrupted
+    assert [o.seed_index for o in report.outcomes] == [0, 1]
+    assert report.best().seed_index in (0, 1)
+
+
+# ------------------------------------------------------------- validation
+def test_resolve_executor_contract():
+    assert resolve_executor(None) is None
+    config = resolve_executor(4)
+    assert isinstance(config, ExecutorConfig) and config.n_jobs == 4
+    assert resolve_executor(config) is config
+    with pytest.raises(ValidationError):
+        resolve_executor(True)
+    with pytest.raises(ValidationError):
+        resolve_executor("four")
+    with pytest.raises(ValidationError):
+        ExecutorConfig(0)
+    with pytest.raises(ValidationError):
+        ExecutorConfig(1, timeout=0.0)
+    with pytest.raises(ValidationError):
+        ExecutorConfig(1, max_retries=-1)
+    with pytest.raises(ValidationError):
+        run_restarts(toy_run, 0, np.random.default_rng(0))

@@ -1,0 +1,203 @@
+"""Training chaos suite: interrupts, injected worker deaths, soak runs.
+
+Runs as its own CI step (hard timeout) because it deliberately schedules
+sleeps, kills and torn writes.  Three certifications:
+
+* a ``KeyboardInterrupt`` mid-fit salvages the best completed work
+  instead of losing the run (``converged_`` honestly reports the cut);
+* the parallel restart sweep selects the same model as the serial one
+  *under injected kills and timeouts*, not just on sunny days;
+* a randomized train/save/load soak never leaves a silently-corrupt
+  artifact on disk — every failure is typed, and whatever file exists
+  always loads cleanly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import KhatriRaoKMeans, KMeans, MiniBatchKhatriRaoKMeans
+from repro.datasets import make_blobs
+from repro.exceptions import RestartFailedError
+from repro.faults import (
+    FaultHook,
+    FaultSchedule,
+    InjectedKernelError,
+    RestartFaultPlan,
+    WorkerKill,
+)
+from repro.runtime import ExecutorConfig
+from repro.summary import DataSummary, summarize
+
+
+@pytest.fixture
+def X():
+    data, _ = make_blobs(200, n_features=4, n_clusters=6, cluster_std=0.6,
+                         random_state=3)
+    return data
+
+
+class InterruptAt:
+    def __init__(self, restart: int, iteration: int):
+        self.trigger = (restart, iteration)
+
+    def __call__(self, restart_index: int, iteration: int) -> None:
+        if (restart_index, iteration) >= self.trigger:
+            raise KeyboardInterrupt
+
+
+# ------------------------------------------------------ interrupt salvage
+def test_kmeans_interrupt_keeps_best_completed_restart(X):
+    interrupted = KMeans(6, n_init=3, max_iter=40, random_state=11,
+                         callback=InterruptAt(1, 1)).fit(X)
+    assert not interrupted.converged_
+    assert interrupted.cluster_centers_ is not None
+    assert np.isfinite(interrupted.inertia_)
+    # Only restart 0 completed, so the salvaged model is exactly the
+    # n_init=1 fit under the same seed (sequential restarts share the rng).
+    single = KMeans(6, n_init=1, max_iter=40, random_state=11).fit(X)
+    assert interrupted.inertia_ == single.inertia_
+    assert np.array_equal(interrupted.labels_, single.labels_)
+    interrupted.predict(X)  # the salvaged model is fully usable
+
+
+def test_kr_kmeans_interrupt_keeps_best_completed_restart(X):
+    interrupted = KhatriRaoKMeans((2, 3), n_init=3, max_iter=40,
+                                  random_state=5,
+                                  callback=InterruptAt(1, 1)).fit(X)
+    assert not interrupted.converged_
+    single = KhatriRaoKMeans((2, 3), n_init=1, max_iter=40,
+                             random_state=5).fit(X)
+    assert interrupted.inertia_ == single.inertia_
+    for a, b in zip(interrupted.protocentroids_, single.protocentroids_):
+        assert np.array_equal(a, b)
+
+
+def test_kr_kmeans_interrupt_mid_first_restart_keeps_partial(X):
+    # Nothing complete yet except iterations of restart 0: keep those.
+    interrupted = KhatriRaoKMeans((2, 3), n_init=3, max_iter=40,
+                                  random_state=5,
+                                  callback=InterruptAt(0, 3)).fit(X)
+    assert not interrupted.converged_
+    assert interrupted.protocentroids_ is not None
+    assert np.isfinite(interrupted.inertia_)
+
+
+def test_minibatch_interrupt_keeps_last_completed_step(X):
+    interrupted = MiniBatchKhatriRaoKMeans(
+        (2, 3), batch_size=40, max_steps=50, random_state=9,
+        callback=InterruptAt(0, 10),
+    ).fit(X)
+    assert not interrupted.converged_
+    assert interrupted.n_steps_ == 10
+    interrupted.predict(X)
+
+
+def test_parallel_interrupt_keeps_completed_restarts(X):
+    calls = {"n": 0}
+
+    def interrupt_third_restart(restart_index, iteration):
+        if restart_index == 2:
+            raise KeyboardInterrupt
+
+    model = KMeans(6, n_init=4, max_iter=40, random_state=11,
+                   callback=interrupt_third_restart,
+                   n_jobs=ExecutorConfig(1))
+    model.fit(X)
+    assert not model.converged_
+    assert np.isfinite(model.inertia_)
+
+
+# ------------------------------------- parallel selection under injection
+def _chaos_config(n_jobs, plan):
+    return ExecutorConfig(n_jobs, timeout=20.0, max_retries=1,
+                          max_failures=1, fault_hook=plan)
+
+
+@pytest.mark.parametrize("spec", [
+    {(0, 0): "kill"},
+    {(2, 0): "raise"},
+    {(1, 0): "kill", (3, 0): "raise"},
+    {(1, 0): "raise", (1, 1): "raise"},  # one permanent death, tolerated
+])
+def test_parallel_selection_matches_serial_under_faults(X, spec):
+    def fit(n_jobs):
+        return KhatriRaoKMeans(
+            (2, 3), n_init=4, max_iter=40, random_state=7,
+            n_jobs=_chaos_config(n_jobs, RestartFaultPlan(dict(spec))),
+        ).fit(X)
+
+    serial, wide = fit(1), fit(4)
+    assert wide.inertia_ == serial.inertia_
+    assert np.array_equal(wide.labels_, serial.labels_)
+    for a, b in zip(wide.protocentroids_, serial.protocentroids_):
+        assert np.array_equal(a, b)
+
+
+def test_parallel_selection_matches_serial_under_timeout(X):
+    def fit(n_jobs):
+        plan = RestartFaultPlan({(1, 0): ("sleep", 2.0)})
+        return KMeans(
+            6, n_init=3, max_iter=40, random_state=11,
+            n_jobs=ExecutorConfig(n_jobs, timeout=0.5, max_retries=1,
+                                  fault_hook=plan),
+        ).fit(X)
+
+    serial, wide = fit(1), fit(4)
+    assert wide.inertia_ == serial.inertia_
+    assert np.array_equal(wide.labels_, serial.labels_)
+
+
+def test_every_restart_dead_is_a_typed_failure(X):
+    plan = RestartFaultPlan({(i, a): "raise" for i in range(2)
+                             for a in range(2)})
+    with pytest.raises(RestartFailedError) as excinfo:
+        KMeans(6, n_init=2, max_iter=40, random_state=11,
+               n_jobs=ExecutorConfig(2, max_retries=1,
+                                     fault_hook=plan)).fit(X)
+    assert excinfo.value.seeds == (0, 1)
+
+
+# -------------------------------------------------------------- chaos soak
+@pytest.mark.parametrize("seed", range(4))
+def test_chaos_soak_never_leaves_a_corrupt_artifact(tmp_path, seed, X):
+    """Randomized train/save/load storms; the artifact always loads."""
+    rng = np.random.default_rng(seed)
+    path = tmp_path / "model.npz"
+    model = KhatriRaoKMeans((2, 2), n_init=2, max_iter=30,
+                            random_state=0).fit(X)
+    summarize(model).save(path)
+
+    fault_kinds = ["raise", "kill", ("sleep", 0.3)]
+    typed_failures = 0
+    for _ in range(8):
+        action = int(rng.integers(3))
+        try:
+            if action == 0:
+                plan = RestartFaultPlan({
+                    (int(rng.integers(3)), 0):
+                        fault_kinds[int(rng.integers(3))],
+                })
+                model = KhatriRaoKMeans(
+                    (2, 2), n_init=3, max_iter=30,
+                    random_state=int(rng.integers(1000)),
+                    n_jobs=ExecutorConfig(2, timeout=0.15, max_retries=1,
+                                          max_failures=3, fault_hook=plan),
+                ).fit(X)
+            elif action == 1:
+                hook = FaultHook(FaultSchedule.random(
+                    int(rng.integers(10_000)), 2,
+                    p_raise=0.3, p_sleep=0.0, p_kill=0.3,
+                ))
+                summarize(model).save(path, fault_hook=hook)
+            else:
+                loaded = DataSummary.load(path)
+                assert loaded.n_clusters == 4
+        except (InjectedKernelError, WorkerKill, RestartFailedError):
+            typed_failures += 1  # every failure mode is typed — nothing else
+        # The invariant under any storm: the artifact on disk is whole.
+        recovered = DataSummary.load(path)
+        assert recovered.cardinalities == (2, 2)
+        assert all(np.all(np.isfinite(theta))
+                   for theta in recovered.protocentroids)
