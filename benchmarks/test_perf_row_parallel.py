@@ -1,0 +1,125 @@
+"""Row-parallel kernel throughput (`.benchmarks/row_parallel.json`).
+
+Certifies the row-block execution layer: the pool must (a) produce a
+bit-identical model at every thread count and (b) actually overlap
+per-block work.  Two legs, mirroring the restart benchmark:
+
+* **latency-bound** — each row block carries a fixed 60 ms stall
+  (``time.sleep`` releases the GIL, standing in for the page-fault /
+  straggler latency the pool hides when streaming a memmap).  Overlap
+  is deterministic and independent of core count, so the ≥1.7× floor
+  on 4 threads is asserted even on a single-core CI box.
+* **BLAS-bound** — real blocked ``KhatriRaoKMeans`` fits; recorded for
+  the report but *not* asserted, because the speedup tracks physical
+  cores (``cpu_count`` is stored alongside so readers can judge it).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import print_header, print_rows, scaled
+from repro import KhatriRaoKMeans
+from repro.datasets import make_blobs
+from repro.runtime import ParallelConfig, RowBlockPool
+
+N_BLOCKS = 8
+STALL_S = 0.06
+SPEEDUP_FLOOR = 1.7
+BLOCK_ROWS = 512
+
+
+def _time_block_sweep(n_threads: int):
+    def block(start, stop):
+        checksum = float(start + stop)
+        time.sleep(STALL_S)  # releases the GIL: overlappable latency
+        return checksum
+
+    config = ParallelConfig(n_threads, block_rows=BLOCK_ROWS)
+    with RowBlockPool(config) as pool:
+        start = time.perf_counter()
+        results = pool.map(block, N_BLOCKS * BLOCK_ROWS)
+    return time.perf_counter() - start, results
+
+
+def _fit_kr(n_threads, X):
+    start = time.perf_counter()
+    model = KhatriRaoKMeans(
+        (3, 3), n_init=4, max_iter=50, random_state=0,
+        n_threads=ParallelConfig(n_threads, block_rows=BLOCK_ROWS),
+    ).fit(X)
+    return time.perf_counter() - start, model
+
+
+def test_row_parallel_throughput():
+    print_header("Row-parallel kernels: supervised block pool throughput")
+
+    # ---- correctness gate: pool width is invisible in the result
+    n = int(16000 * scaled(1.0))
+    X, _ = make_blobs(max(n, 2000), n_features=8, n_clusters=9,
+                      cluster_std=0.6, random_state=1)
+    serial_fit_s, serial_model = _fit_kr(1, X)
+    parallel_fit_s, parallel_model = _fit_kr(4, X)
+    assert parallel_model.inertia_ == serial_model.inertia_
+    assert parallel_model.n_iter_ == serial_model.n_iter_
+    assert np.array_equal(parallel_model.labels_, serial_model.labels_)
+    for a, b in zip(parallel_model.protocentroids_,
+                    serial_model.protocentroids_):
+        assert np.array_equal(a, b)
+
+    # ---- latency-bound leg (asserted)
+    serial_s, serial_results = _time_block_sweep(1)
+    parallel_s, parallel_results = _time_block_sweep(4)
+    assert parallel_results == serial_results  # block order, not finish order
+    latency_speedup = serial_s / parallel_s
+
+    rows = [
+        f"{'latency-bound (8 x 60ms block)':<34}"
+        f"{serial_s:>12.3f}s{parallel_s:>12.3f}s{latency_speedup:>9.2f}x",
+        f"{'BLAS-bound (blocked KR fit)':<34}"
+        f"{serial_fit_s:>12.3f}s{parallel_fit_s:>12.3f}s"
+        f"{serial_fit_s / parallel_fit_s:>9.2f}x",
+    ]
+    print_rows(
+        f"{'leg':<34}{'n_threads=1':>13}{'n_threads=4':>13}{'speedup':>10}",
+        rows,
+    )
+    print(f"cpu_count={os.cpu_count()}  "
+          f"(BLAS leg tracks physical cores; latency leg does not)")
+
+    record = {
+        "n_blocks": N_BLOCKS,
+        "block_rows": BLOCK_ROWS,
+        "workers": 4,
+        "cpu_count": os.cpu_count(),
+        "latency_bound": {
+            "stall_s": STALL_S,
+            "serial_s": round(serial_s, 4),
+            "parallel_s": round(parallel_s, 4),
+            "speedup": round(latency_speedup, 3),
+            "asserted_floor": SPEEDUP_FLOOR,
+        },
+        "blas_bound": {
+            "n_samples": int(X.shape[0]),
+            "serial_s": round(serial_fit_s, 4),
+            "parallel_s": round(parallel_fit_s, 4),
+            "speedup": round(serial_fit_s / parallel_fit_s, 3),
+            "asserted": False,
+        },
+        "bit_identical_fit": True,
+    }
+    out_dir = Path(__file__).resolve().parents[1] / ".benchmarks"
+    out_dir.mkdir(exist_ok=True)
+    (out_dir / "row_parallel.json").write_text(
+        json.dumps(record, indent=2) + "\n"
+    )
+
+    assert latency_speedup >= SPEEDUP_FLOOR, (
+        f"4-thread block sweep only {latency_speedup:.2f}x faster than "
+        f"serial on the latency-bound leg (floor {SPEEDUP_FLOOR}x)"
+    )

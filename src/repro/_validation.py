@@ -8,6 +8,7 @@ of hard-to-debug clustering results.
 
 from __future__ import annotations
 
+import math
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
@@ -22,7 +23,23 @@ __all__ = [
     "check_in",
     "check_cardinalities",
     "check_random_state",
+    "int_prod",
 ]
+
+#: rows per slab when validating a memory-mapped input blockwise; only this
+#: many rows of finiteness flags are ever materialized at once.
+_MEMMAP_CHECK_ROWS = 65536
+
+
+def int_prod(values) -> int:
+    """Exact product of ``values`` as an arbitrary-precision Python int.
+
+    ``int(np.prod(...))`` computes in int64 and *silently wraps* once the
+    product exceeds ``2**63 - 1`` — e.g. ``np.prod([2**32, 2**32])`` is 0 —
+    which corrupts every ``k = prod(h_q)`` grid size for large Khatri-Rao
+    configurations.  All grid sizes go through this helper instead.
+    """
+    return math.prod(int(v) for v in values)
 
 #: working dtypes the kernel stack computes in; everything else is rejected
 #: at the API boundary (``check_dtype``) or silently widened to float64 at
@@ -97,7 +114,39 @@ def check_array(
     -------
     numpy.ndarray
         A validated array of the requested dtype and dimensionality.
+
+    Notes
+    -----
+    A :class:`numpy.memmap` whose dtype already matches is passed through
+    **without copying** — the out-of-core seam.  Its finiteness check runs
+    blockwise (a full-array ``isfinite`` would materialize an ``n x m``
+    boolean temp, defeating the point of mapping), and the map itself flows
+    into the blocked kernels, which slice it one row block at a time.  A
+    memmap in the *wrong* dtype is rejected with a typed error rather than
+    silently cast: the cast would allocate the whole dataset in RAM.
     """
+    if isinstance(X, np.memmap) and X.ndim == ndim:
+        requested = np.dtype(dtype)
+        if X.dtype != requested:
+            raise ValidationError(
+                f"{name} is a memory-mapped array of dtype {X.dtype.name} but "
+                f"this fit computes in {requested.name}; store the memmap in "
+                f"the working dtype (casting would materialize it in RAM)"
+            )
+        if not X.flags["C_CONTIGUOUS"]:
+            raise ValidationError(
+                f"{name} is a memory-mapped array but not C-contiguous; "
+                f"the row-block kernels stream contiguous row slices"
+            )
+        if not allow_empty and X.shape[0] < min_samples:
+            raise ValidationError(
+                f"{name} must contain at least {min_samples} samples, "
+                f"got {X.shape[0]}"
+            )
+        for start in range(0, X.shape[0], _MEMMAP_CHECK_ROWS):
+            if not np.all(np.isfinite(X[start:start + _MEMMAP_CHECK_ROWS])):
+                raise ValidationError(f"{name} contains NaN or infinite values")
+        return X
     try:
         arr = np.asarray(X, dtype=dtype)
     except (TypeError, ValueError) as exc:

@@ -65,6 +65,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="run the saved model's n_init restarts on this "
                           "many worker threads (default: sequential); "
                           "model selection is identical to sequential")
+    fit.add_argument("--n-threads", type=int, default=None,
+                     help="row-parallel kernel threads for the saved "
+                          "model's fit (default: single sweep, or the "
+                          "REPRO_N_THREADS environment variable); any "
+                          "thread count is bit-identical")
     fit.add_argument("--checkpoint-dir", default=None, metavar="DIR",
                      help="write an atomic training checkpoint per "
                           "iteration under DIR while fitting the saved "
@@ -194,6 +199,7 @@ def _cmd_fit(args) -> int:
         model = KhatriRaoKMeans(
             cards, aggregator=args.aggregator, n_init=args.n_init,
             random_state=args.seed, n_jobs=args.n_jobs,
+            n_threads=args.n_threads,
             checkpoint=checkpoint, resume_from=resume_from,
         ).fit(ds.data)
         summary = summarize(model, metadata={"dataset": ds.name})

@@ -53,6 +53,7 @@ import numpy as np
 __all__ = [
     "squared_distances",
     "assign_to_nearest",
+    "merge_row_block_assignments",
     "paired_squared_distances",
     "row_norms_squared",
 ]
@@ -63,9 +64,24 @@ def _working_dtype(X: np.ndarray) -> np.dtype:
     return X.dtype if X.dtype == np.dtype(np.float32) else np.dtype(np.float64)
 
 
-def row_norms_squared(X: np.ndarray) -> np.ndarray:
-    """Squared Euclidean norm of every row of ``X`` (shape ``(n,)``)."""
-    return np.einsum("ij,ij->i", X, X)
+def row_norms_squared(X: np.ndarray, *, parallel=None) -> np.ndarray:
+    """Squared Euclidean norm of every row of ``X`` (shape ``(n,)``).
+
+    ``parallel`` optionally supplies a
+    :class:`~repro.runtime.parallel.RowBlockPool`; the per-row reduction
+    is independent across rows, so the blocked result is bit-identical
+    to the single sweep *and* streams a memory-mapped ``X`` one block at
+    a time.
+    """
+    if parallel is None or X.shape[0] == 0:
+        return np.einsum("ij,ij->i", X, X)
+    parts = parallel.map(
+        lambda start, stop: np.einsum(
+            "ij,ij->i", X[start:stop], X[start:stop]
+        ),
+        X.shape[0],
+    )
+    return np.concatenate(parts)
 
 
 def paired_squared_distances(X: np.ndarray, C: np.ndarray) -> np.ndarray:
@@ -167,6 +183,20 @@ def _chunked_argmin(
     return labels, best
 
 
+def merge_row_block_assignments(parts, return_second: bool) -> Tuple[np.ndarray, ...]:
+    """Concatenate per-row-block assignment tuples in block order.
+
+    Each row lives in exactly one block, so concatenation is the whole
+    merge — no fold order to worry about.  Shared by every row-blocked
+    assignment path (materialized and factored).
+    """
+    labels = np.concatenate([p[0] for p in parts])
+    best = np.concatenate([p[1] for p in parts])
+    if return_second:
+        return labels, best, np.concatenate([p[2] for p in parts])
+    return labels, best
+
+
 def assign_to_nearest(
     X: np.ndarray,
     C: np.ndarray,
@@ -174,6 +204,7 @@ def assign_to_nearest(
     chunk_size: int = 0,
     x_squared_norms: Optional[np.ndarray] = None,
     return_second: bool = False,
+    parallel=None,
 ) -> Tuple[np.ndarray, ...]:
     """Assign each row of ``X`` to its nearest row of ``C``.
 
@@ -191,6 +222,12 @@ def assign_to_nearest(
     return_second : bool
         Also return the squared distance to the *second*-nearest centroid
         (``inf`` when ``k == 1``) — the seed of Hamerly-style pruning bounds.
+    parallel : RowBlockPool, optional
+        Row-parallel execution: each fixed row block is assigned by a pool
+        worker via this same function and the per-row outputs concatenated
+        in block order.  Rows are scored independently, so the result is
+        bit-identical at every pool width; a memory-mapped ``X`` is only
+        ever touched one block at a time.
 
     Returns
     -------
@@ -201,6 +238,20 @@ def assign_to_nearest(
     """
     n = X.shape[0]
     k = C.shape[0]
+    if parallel is not None and n > 0:
+        if x_squared_norms is None:
+            x_squared_norms = row_norms_squared(X, parallel=parallel)
+
+        def _block(start, stop):
+            return assign_to_nearest(
+                X[start:stop], C, chunk_size=chunk_size,
+                x_squared_norms=x_squared_norms[start:stop],
+                return_second=return_second,
+            )
+
+        return merge_row_block_assignments(
+            parallel.map(_block, n), return_second
+        )
     if x_squared_norms is None:
         x_squared_norms = row_norms_squared(X)
     if chunk_size <= 0 or chunk_size >= k:

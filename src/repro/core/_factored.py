@@ -38,7 +38,7 @@ from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .._validation import as_float_array
+from .._validation import as_float_array, int_prod
 from ..exceptions import ValidationError
 from ..linalg import get_aggregator
 from ._distances import (
@@ -46,6 +46,7 @@ from ._distances import (
     _row_min,
     _row_second_min,
     _working_dtype,
+    merge_row_block_assignments,
     row_norms_squared,
 )
 
@@ -79,6 +80,7 @@ def assign_factored(
     chunk_size: int = 0,
     x_squared_norms: Optional[np.ndarray] = None,
     return_second: bool = False,
+    parallel=None,
 ) -> Tuple[np.ndarray, ...]:
     """Assign rows of ``X`` to their nearest Khatri-Rao centroid, factored.
 
@@ -105,6 +107,13 @@ def assign_factored(
         Also return the squared distance to the second-nearest centroid
         (``inf`` when ``∏ h_q == 1``), seeding Hamerly pruning bounds at no
         extra asymptotic cost.
+    parallel : RowBlockPool, optional
+        Row-parallel execution: each fixed row block computes its own
+        Grams and partial scores on a pool worker (this same function on
+        the slice), and the per-row outputs are concatenated in block
+        order.  Rows are scored independently, so the result is
+        bit-identical at every pool width, and a memory-mapped ``X`` is
+        only touched one block at a time.
 
     Returns
     -------
@@ -123,7 +132,23 @@ def assign_factored(
     X = as_float_array(X)
     n = X.shape[0]
     cardinalities = tuple(theta.shape[0] for theta in thetas)
-    k = int(np.prod(cardinalities))
+    # int_prod, not np.prod: the implicit grid size overflows int64 for
+    # large configurations (e.g. eight sets of 256) and np.prod wraps.
+    k = int_prod(cardinalities)
+    if parallel is not None and n > 0:
+        if x_squared_norms is None:
+            x_squared_norms = row_norms_squared(X, parallel=parallel)
+
+        def _block(start, stop):
+            return assign_factored(
+                X[start:stop], thetas, agg, chunk_size=chunk_size,
+                x_squared_norms=x_squared_norms[start:stop],
+                return_second=return_second,
+            )
+
+        return merge_row_block_assignments(
+            parallel.map(_block, n), return_second
+        )
     if x_squared_norms is None:
         x_squared_norms = row_norms_squared(X)
 
@@ -203,7 +228,8 @@ def _partial_score_block(
 
 
 def grouped_row_sum(
-    assignments: np.ndarray, values: np.ndarray, num_groups: int
+    assignments: np.ndarray, values: np.ndarray, num_groups: int,
+    parallel=None,
 ) -> np.ndarray:
     """Sum rows of ``values`` into ``num_groups`` buckets given by ``assignments``.
 
@@ -226,9 +252,28 @@ def grouped_row_sum(
     when they store the quotient back into a float32 protocentroid.  Each
     float32 element widens to float64 exactly, so the result is
     bit-identical to summing a pre-widened copy.
+
+    With ``parallel`` (a :class:`~repro.runtime.parallel.RowBlockPool`),
+    each fixed row block computes its own fused-bincount partial and the
+    partials are **summed in ascending block order** — the accumulation
+    split is fixed by the block boundaries alone, so the result is
+    bit-identical at every pool width (and may differ from the single
+    sweep only in the last ulp, the same documented reorder the
+    ``update=`` knob carries).
     """
     values = as_float_array(values)
     n, m = values.shape
+    if parallel is not None and n > 0:
+        parts = parallel.map(
+            lambda start, stop: grouped_row_sum(
+                assignments[start:stop], values[start:stop], num_groups
+            ),
+            n,
+        )
+        out = parts[0]
+        for part in parts[1:]:
+            out += part
+        return out
     if m == 0:
         return np.zeros((num_groups, m), dtype=np.float64)
     fused = assignments.astype(np.int64, copy=False)[:, None] * m + np.arange(

@@ -26,7 +26,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from .._validation import check_cardinalities, check_positive_int
+from .._validation import check_cardinalities, check_positive_int, int_prod
 from ..exceptions import ValidationError
 
 __all__ = [
@@ -212,7 +212,7 @@ def suggest_aggregator(
     """
     cards = check_cardinalities(cardinalities)
     centroids = np.asarray(centroids, dtype=float)
-    k = int(np.prod(cards))
+    k = int_prod(cards)
     if centroids.ndim != 2 or centroids.shape[0] != k:
         raise ValidationError(
             f"centroids must have shape ({k}, m) for cardinalities {cards}"

@@ -33,6 +33,7 @@ from ..runtime.checkpoint import (
     write_checkpoint,
 )
 from ..runtime.executor import resolve_executor, run_restarts
+from ..runtime.parallel import open_row_pool, resolve_parallel
 from ._bounds import HamerlyBounds, check_pruning, dense_drift, hamerly_step
 from ._distances import (
     assign_to_nearest,
@@ -41,6 +42,7 @@ from ._distances import (
     squared_distances,
 )
 from ._factored import grouped_row_sum
+from ._update import _group_mass
 
 __all__ = ["KMeans", "kmeans_plus_plus_init"]
 
@@ -168,6 +170,18 @@ class KMeans:
         ``rng.spawn`` streams: the result is identical at every worker
         count, and restart failures are retried/tolerated per the
         config.  Incompatible with ``checkpoint``/``resume_from``.
+    n_threads : None, int or ParallelConfig
+        ``None`` (default) keeps the legacy single-sweep kernels —
+        bit-compatible with every earlier release — unless the
+        ``REPRO_N_THREADS`` environment variable engages the blocked
+        layer suite-wide.  An int (or a full
+        :class:`~repro.runtime.parallel.ParallelConfig`) runs the
+        per-iteration kernels over fixed row blocks on a supervised
+        thread pool: block boundaries depend only on ``(n, block_rows)``
+        and reductions merge in block order, so any two thread counts
+        are bit-identical.  Composes with ``n_jobs`` (restart workers
+        share the pool) and is the seam that streams a
+        :class:`numpy.memmap` ``X`` through ``fit`` block by block.
 
     Attributes
     ----------
@@ -209,6 +223,7 @@ class KMeans:
         resume_from=None,
         callback=None,
         n_jobs=None,
+        n_threads=None,
     ) -> None:
         self.n_clusters = check_positive_int(n_clusters, "n_clusters")
         self.init = check_in(init, "init", ("k-means++", "random"))
@@ -224,6 +239,7 @@ class KMeans:
             raise ValidationError(f"callback must be callable, got {callback!r}")
         self.callback = callback
         self.n_jobs = resolve_executor(n_jobs)
+        self.n_threads = resolve_parallel(n_threads)
         if self.n_jobs is not None and (
             self.checkpoint is not None or self.resume_from is not None
         ):
@@ -253,20 +269,29 @@ class KMeans:
         X = check_array(X, min_samples=self.n_clusters, dtype=self.dtype_)
         weights = _check_sample_weight(sample_weight, X.shape[0], dtype=X.dtype)
         rng = check_random_state(self.random_state)
+        with open_row_pool(self.n_threads) as pool:
+            return self._fit(X, sample_weight, weights, rng, pool)
+
+    def _fit(self, X, sample_weight, weights, rng, parallel) -> "KMeans":
         # ‖x‖² is constant across iterations and restarts — pay for it once.
-        x_squared_norms = row_norms_squared(X)
+        x_squared_norms = row_norms_squared(X, parallel=parallel)
 
         # ... and so is the weighted data matrix feeding the centroid sums.
-        weighted_X = X * weights[:, None]
+        # Unweighted fits reuse X itself: X·1 is exact, so results are
+        # unchanged, and a memory-mapped X is never materialized in RAM.
+        weighted_X = X if sample_weight is None else X * weights[:, None]
 
         if self.n_jobs is not None:
             # Supervised parallel sweep: per-restart spawned streams, so
-            # the selected model is identical at every worker count.
+            # the selected model is identical at every worker count.  The
+            # row pool is shared across restart workers (submit is
+            # thread-safe; block workers never re-enter the pool).
             def run_one(gen, seed_index):
                 centers, labels, run_inertia, iterations, run_interrupted = (
                     self._single_run(
                         X, gen, weights, weighted_X, x_squared_norms,
                         restart_index=seed_index,
+                        parallel=parallel,
                     )
                 )
                 if run_interrupted:
@@ -291,7 +316,13 @@ class KMeans:
         best_iterations = 0
         start_restart = 0
         resume_state = None
-        fingerprint = data_fingerprint(X, weights)
+        # The full-pass sha256 fingerprint only feeds checkpoint headers;
+        # plain fits (and streamed memmap fits) skip it entirely.
+        fingerprint = (
+            data_fingerprint(X, weights)
+            if self.checkpoint is not None or self.resume_from is not None
+            else None
+        )
         if self.resume_from is not None:
             (start_restart, resume_state, best_resumed) = self._load_checkpoint(
                 rng, fingerprint, x_squared_norms, X.shape[1]
@@ -314,6 +345,7 @@ class KMeans:
                         resume=resume_state,
                         fingerprint=fingerprint,
                         best_state=best_state,
+                        parallel=parallel,
                     )
                 )
             except KeyboardInterrupt:
@@ -353,7 +385,10 @@ class KMeans:
                 f"X has {X.shape[1]} features, model was fitted with "
                 f"{self.cluster_centers_.shape[1]}"
             )
-        labels, _ = assign_to_nearest(X, self.cluster_centers_)
+        with open_row_pool(self.n_threads) as pool:
+            labels, _ = assign_to_nearest(
+                X, self.cluster_centers_, parallel=pool
+            )
         return labels
 
     def transform(self, X) -> np.ndarray:
@@ -366,7 +401,10 @@ class KMeans:
         """Negative inertia of ``X`` under the learned centroids."""
         self._check_fitted()
         X = check_array(X, dtype=self.cluster_centers_.dtype)
-        _, distances = assign_to_nearest(X, self.cluster_centers_)
+        with open_row_pool(self.n_threads) as pool:
+            _, distances = assign_to_nearest(
+                X, self.cluster_centers_, parallel=pool
+            )
         return -float(distances.sum(dtype=np.float64))
 
     def parameter_count(self) -> int:
@@ -397,6 +435,7 @@ class KMeans:
         labels: np.ndarray,
         bounds: Optional[HamerlyBounds],
         x_squared_norms: np.ndarray,
+        parallel=None,
     ):
         """One assignment pass; returns ``(labels, min_distances_or_None)``.
 
@@ -404,20 +443,33 @@ class KMeans:
         recomputes it on demand (only the empty-cluster reseed needs it).
         """
         if bounds is None:
-            return assign_to_nearest(X, centers, x_squared_norms=x_squared_norms)
+            return assign_to_nearest(
+                X, centers, x_squared_norms=x_squared_norms, parallel=parallel
+            )
 
         def exact_squared(idx):
-            return paired_squared_distances(X[idx], centers[labels[idx]])
+            # Active-set tightening, row-blocked over the *subset*: each
+            # row's distance is independent, so the blocked sweep is
+            # bit-identical and gathers only one block of rows at a time.
+            if parallel is None or idx.size == 0:
+                return paired_squared_distances(X[idx], centers[labels[idx]])
+            parts = parallel.map(
+                lambda start, stop: paired_squared_distances(
+                    X[idx[start:stop]], centers[labels[idx[start:stop]]]
+                ),
+                idx.size,
+            )
+            return np.concatenate(parts)
 
         def rescore(idx):
             if idx is None:
                 return assign_to_nearest(
                     X, centers, x_squared_norms=x_squared_norms,
-                    return_second=True,
+                    return_second=True, parallel=parallel,
                 )
             return assign_to_nearest(
                 X[idx], centers, x_squared_norms=x_squared_norms[idx],
-                return_second=True,
+                return_second=True, parallel=parallel,
             )
 
         labels, _, full_d1 = hamerly_step(bounds, labels, exact_squared, rescore)
@@ -426,6 +478,9 @@ class KMeans:
     # --------------------------------------------------------- checkpointing
     def _param_header(self) -> dict:
         """Configuration fingerprint a checkpoint must match to resume."""
+        # n_threads is deliberately absent: pool width never changes
+        # results (the row-block contract), so checkpoints stay portable
+        # across machine sizes — and older checkpoints keep resuming.
         return {
             "n_clusters": self.n_clusters,
             "init": self.init,
@@ -531,6 +586,7 @@ class KMeans:
         resume=None,
         fingerprint=None,
         best_state=None,
+        parallel=None,
     ):
         if resume is None:
             centers = self._init_centers(X, rng)
@@ -550,17 +606,19 @@ class KMeans:
         try:
             for iterations in range(start, self.max_iter + 1):
                 labels, min_distances = self._assign_step(
-                    X, centers, labels, bounds, x_squared_norms
+                    X, centers, labels, bounds, x_squared_norms, parallel
                 )
                 new_centers = centers.copy()
-                counts = np.bincount(
-                    labels, weights=weights, minlength=self.n_clusters
+                counts = _group_mass(
+                    labels, weights, self.n_clusters, parallel
                 )
                 # Per-column bincount reduction (grouped_row_sum) over the
                 # fit-hoisted weighted matrix: same row-order accumulation as
                 # the np.add.at scatter it replaces, an order of magnitude
                 # faster — and with pruning this update is the iteration floor.
-                sums = grouped_row_sum(labels, weighted_X, self.n_clusters)
+                sums = grouped_row_sum(
+                    labels, weighted_X, self.n_clusters, parallel
+                )
                 non_empty = counts > 0
                 new_centers[non_empty] = sums[non_empty] / counts[non_empty, None]
                 # Empty clusters: re-seed on the points farthest from their
@@ -573,7 +631,8 @@ class KMeans:
                         # the full computation the unpruned path runs — same
                         # call, same inputs, bit-identical reseed choice.
                         _, min_distances = assign_to_nearest(
-                            X, centers, x_squared_norms=x_squared_norms
+                            X, centers, x_squared_norms=x_squared_norms,
+                            parallel=parallel,
                         )
                     farthest = (
                         np.argsort(min_distances * weights)[::-1][: empty.size]
@@ -609,7 +668,7 @@ class KMeans:
         except KeyboardInterrupt:
             interrupted = True
         labels, min_distances = assign_to_nearest(
-            X, centers, x_squared_norms=x_squared_norms
+            X, centers, x_squared_norms=x_squared_norms, parallel=parallel
         )
         inertia = float((min_distances * weights).sum(dtype=np.float64))
         return centers, labels, inertia, completed, interrupted

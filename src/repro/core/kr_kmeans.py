@@ -115,6 +115,7 @@ from ..runtime.checkpoint import (
     write_checkpoint,
 )
 from ..runtime.executor import resolve_executor, run_restarts
+from ..runtime.parallel import open_row_pool, resolve_parallel
 from ..linalg import (
     get_aggregator,
     khatri_rao_combine,
@@ -131,6 +132,7 @@ from ._bounds import (
 from ._distances import (
     _chunked_argmin,
     assign_to_nearest,
+    merge_row_block_assignments,
     paired_squared_distances,
     row_norms_squared,
     squared_distances,
@@ -260,6 +262,20 @@ class KhatriRaoKMeans:
         ``rng.spawn`` streams: identical result at every worker count,
         restart failures retried/tolerated per the config.  Incompatible
         with ``checkpoint``/``resume_from``.
+    n_threads : None, int or ParallelConfig
+        ``None`` (default) keeps the legacy single-sweep kernels —
+        bit-compatible with every earlier release — unless the
+        ``REPRO_N_THREADS`` environment variable engages the blocked
+        layer suite-wide.  An int (or a full
+        :class:`~repro.runtime.parallel.ParallelConfig`) runs
+        assignment, updates and bound sweeps over fixed row blocks on a
+        supervised thread pool: block boundaries depend only on
+        ``(n, block_rows)`` and reductions merge in ascending block
+        order, so any two thread counts produce bit-identical labels,
+        inertia and iteration counts.  Composes with ``n_jobs`` (restart
+        workers share the pool) and is the seam that streams a
+        :class:`numpy.memmap` ``X`` through ``fit`` block by block —
+        larger-than-RAM datasets train through the identical code path.
 
     Attributes
     ----------
@@ -315,6 +331,7 @@ class KhatriRaoKMeans:
         resume_from=None,
         callback=None,
         n_jobs=None,
+        n_threads=None,
     ) -> None:
         self.cardinalities = check_cardinalities(cardinalities)
         self.aggregator = get_aggregator(aggregator)
@@ -335,6 +352,7 @@ class KhatriRaoKMeans:
             raise ValidationError(f"callback must be callable, got {callback!r}")
         self.callback = callback
         self.n_jobs = resolve_executor(n_jobs)
+        self.n_threads = resolve_parallel(n_threads)
         if self.n_jobs is not None and (
             self.checkpoint is not None or self.resume_from is not None
         ):
@@ -418,18 +436,25 @@ class KhatriRaoKMeans:
             else _check_sample_weight(sample_weight, X.shape[0], dtype=X.dtype)
         )
         rng = check_random_state(self.random_state)
+        with open_row_pool(self.n_threads) as pool:
+            return self._fit(X, weights, rng, pool)
+
+    def _fit(self, X, weights, rng, parallel) -> "KhatriRaoKMeans":
         materialize = self._should_materialize(X)
         # ‖x‖² is constant across iterations and restarts — pay for it once.
-        x_squared_norms = row_norms_squared(X)
+        x_squared_norms = row_norms_squared(X, parallel=parallel)
 
         if self.n_jobs is not None:
             # Supervised parallel sweep: per-restart spawned streams, so
-            # the selected model is identical at every worker count.
+            # the selected model is identical at every worker count.  The
+            # row pool is shared across restart workers (submit is
+            # thread-safe; block workers never re-enter the pool).
             def run_one(gen, seed_index):
                 (thetas, labels, set_labels, run_inertia, iters, fractions,
                  run_interrupted) = self._single_run(
                     X, gen, materialize, weights, x_squared_norms,
                     restart_index=seed_index,
+                    parallel=parallel,
                 )
                 if run_interrupted:
                     # A callback-raised interrupt inside a worker: surface
@@ -451,7 +476,13 @@ class KhatriRaoKMeans:
         best = (np.inf, None, None, None, 0, None)
         start_restart = 0
         resume_state = None
-        fingerprint = data_fingerprint(X, weights)
+        # The full-pass sha256 fingerprint only feeds checkpoint headers;
+        # plain fits (and streamed memmap fits) skip it entirely.
+        fingerprint = (
+            data_fingerprint(X, weights)
+            if self.checkpoint is not None or self.resume_from is not None
+            else None
+        )
         if self.resume_from is not None:
             start_restart, resume_state, best_resumed = self._load_checkpoint(
                 rng, fingerprint, materialize, x_squared_norms, X.shape[1]
@@ -469,6 +500,7 @@ class KhatriRaoKMeans:
                     resume=resume_state,
                     fingerprint=fingerprint,
                     best_state=best_state,
+                    parallel=parallel,
                 )
             except KeyboardInterrupt:
                 # Interrupted before this restart completed one iteration:
@@ -506,7 +538,11 @@ class KhatriRaoKMeans:
                 f"X has {X.shape[1]} features, model was fitted with "
                 f"{self.protocentroids_[0].shape[1]}"
             )
-        labels, _ = self._assign(X, self.protocentroids_, self._should_materialize(X))
+        with open_row_pool(self.n_threads) as pool:
+            labels, _ = self._assign(
+                X, self.protocentroids_, self._should_materialize(X),
+                parallel=pool,
+            )
         return labels
 
     def centroids(self) -> np.ndarray:
@@ -594,6 +630,7 @@ class KhatriRaoKMeans:
         materialize: bool,
         x_squared_norms: Optional[np.ndarray] = None,
         return_second: bool = False,
+        parallel=None,
     ) -> Tuple[np.ndarray, ...]:
         if self.uses_factored_assignment:
             # Memory mode sweeps the tuple grid in chunks; time mode scores
@@ -606,6 +643,7 @@ class KhatriRaoKMeans:
                 chunk_size=0 if materialize else self.chunk_size,
                 x_squared_norms=x_squared_norms,
                 return_second=return_second,
+                parallel=parallel,
             )
         if materialize:
             centroids = khatri_rao_combine(thetas, self.aggregator)
@@ -614,8 +652,11 @@ class KhatriRaoKMeans:
                 centroids,
                 x_squared_norms=x_squared_norms,
                 return_second=return_second,
+                parallel=parallel,
             )
-        return self._assign_chunked(X, thetas, x_squared_norms, return_second)
+        return self._assign_chunked(
+            X, thetas, x_squared_norms, return_second, parallel
+        )
 
     def _assign_chunked(
         self,
@@ -623,7 +664,22 @@ class KhatriRaoKMeans:
         thetas: List[np.ndarray],
         x_squared_norms: Optional[np.ndarray] = None,
         return_second: bool = False,
+        parallel=None,
     ) -> Tuple[np.ndarray, ...]:
+        if parallel is not None and X.shape[0] > 0:
+            # Row-block the memory-mode sweep: each block runs its own
+            # centroid-chunk argmin (rows are scored independently, so the
+            # blocked result is bit-identical at every pool width).
+            if x_squared_norms is None:
+                x_squared_norms = row_norms_squared(X, parallel=parallel)
+            parts = parallel.map(
+                lambda start, stop: self._assign_chunked(
+                    X[start:stop], thetas, x_squared_norms[start:stop],
+                    return_second,
+                ),
+                X.shape[0],
+            )
+            return merge_row_block_assignments(parts, return_second)
         if x_squared_norms is None:
             x_squared_norms = row_norms_squared(X)
         return _chunked_argmin(
@@ -658,6 +714,7 @@ class KhatriRaoKMeans:
         labels: np.ndarray,
         set_labels: Optional[np.ndarray],
         bounds: HamerlyBounds,
+        parallel=None,
     ) -> Tuple[np.ndarray, float]:
         """One Lloyd assignment pass under Hamerly bounds.
 
@@ -668,19 +725,34 @@ class KhatriRaoKMeans:
         factored/materialized kernels — so the pruned path reproduces the
         unpruned argmin exactly wherever it actually recomputes.  Returns
         the labels and the fraction of points fully re-scored.
+
+        With ``parallel`` both sweeps go block-parallel: the tightening
+        gather over the active set splits on fixed blocks of ``idx`` (each
+        active point's distance is independent, so concatenation is exact),
+        and the rescore routes through the row-blocked assignment kernels.
         """
         def exact_squared(idx):
-            assigned = self._combine_rows(thetas, set_labels[idx])
-            return paired_squared_distances(X[idx], assigned)
+            if parallel is None or idx.size == 0:
+                assigned = self._combine_rows(thetas, set_labels[idx])
+                return paired_squared_distances(X[idx], assigned)
+            parts = parallel.map(
+                lambda start, stop: paired_squared_distances(
+                    X[idx[start:stop]],
+                    self._combine_rows(thetas, set_labels[idx[start:stop]]),
+                ),
+                idx.size,
+            )
+            return np.concatenate(parts)
 
         def rescore(idx):
             if idx is None:
                 return self._assign(
-                    X, thetas, materialize, x_squared_norms, return_second=True
+                    X, thetas, materialize, x_squared_norms,
+                    return_second=True, parallel=parallel,
                 )
             return self._assign(
                 X[idx], thetas, materialize, x_squared_norms[idx],
-                return_second=True,
+                return_second=True, parallel=parallel,
             )
 
         labels, fraction, _ = hamerly_step(bounds, labels, exact_squared, rescore)
@@ -702,22 +774,29 @@ class KhatriRaoKMeans:
         set_labels: np.ndarray,
         rng: np.random.Generator,
         weights: Optional[np.ndarray] = None,
+        parallel=None,
     ) -> List[np.ndarray]:
         """One closed-form update sweep, routed by the ``update`` knob.
 
         The kernels live in :mod:`repro.core._update`: the contingency-table
         form for decomposable aggregators, the per-point gather reference
         otherwise.  Both share one weighted-mass ``bincount`` per set
-        between the update denominator and the empty-cluster reseed.
+        between the update denominator and the empty-cluster reseed, and
+        both accept a row pool — per-block partials folded in ascending
+        block order, bit-identical at every pool width.
         """
         return update_protocentroids(
             X, thetas, set_labels, self.aggregator, rng,
             weights=weights, factored=self.uses_factored_update,
+            parallel=parallel,
         )
 
     # --------------------------------------------------------- checkpointing
     def _param_header(self) -> dict:
         """Configuration fingerprint a checkpoint must match to resume."""
+        # n_threads is deliberately absent: pool width never changes the
+        # results (fixed block boundaries, block-order reductions), so
+        # checkpoints written at any thread count keep resuming.
         return {
             "cardinalities": [int(h) for h in self.cardinalities],
             "aggregator": self.aggregator.name,
@@ -865,6 +944,7 @@ class KhatriRaoKMeans:
         resume=None,
         fingerprint=None,
         best_state=None,
+        parallel=None,
     ):
         factored = self.uses_factored_assignment
         if resume is None:
@@ -903,17 +983,18 @@ class KhatriRaoKMeans:
             for iterations in range(start, self.max_iter + 1):
                 if bounds is None:
                     labels, _ = self._assign(
-                        X, thetas, materialize, x_squared_norms
+                        X, thetas, materialize, x_squared_norms,
+                        parallel=parallel,
                     )
                 else:
                     labels, fraction = self._assign_iteration(
                         X, thetas, materialize, x_squared_norms, labels,
-                        set_labels, bounds,
+                        set_labels, bounds, parallel=parallel,
                     )
                     fractions.append(fraction)
                 set_labels = self.set_assignments(labels)
                 thetas = self._update_protocentroids(
-                    X, thetas, set_labels, rng, weights
+                    X, thetas, set_labels, rng, weights, parallel=parallel
                 )
                 shift, old_centroids, drift = self._centroid_shift(
                     thetas, previous_thetas, old_centroids, materialize,
@@ -951,7 +1032,9 @@ class KhatriRaoKMeans:
                 )
         except KeyboardInterrupt:
             interrupted = True
-        labels, min_distances = self._assign(X, thetas, materialize, x_squared_norms)
+        labels, min_distances = self._assign(
+            X, thetas, materialize, x_squared_norms, parallel=parallel
+        )
         set_labels = self.set_assignments(labels)
         # float64 reduction for any working dtype (exact no-op at f64).
         weighted_inertia = float(

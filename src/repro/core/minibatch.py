@@ -51,6 +51,7 @@ from ..runtime.checkpoint import (
     serialize_rng_state,
     write_checkpoint,
 )
+from ..runtime.parallel import open_row_pool, resolve_parallel
 from ..linalg import (
     get_aggregator,
     khatri_rao_combine,
@@ -67,11 +68,14 @@ from ._factored import (
 )
 from ._update import (
     UPDATE_MODES,
+    _group_mass,
     _rest_contribution,
+    _weighted_grouped_row_sum,
     factored_sum_numerator,
     pair_count_tables,
     resolve_update,
 )
+from .kmeans import _check_sample_weight
 
 __all__ = ["MiniBatchKhatriRaoKMeans"]
 
@@ -151,6 +155,18 @@ class MiniBatchKhatriRaoKMeans:
         fit has no restarts; the signature matches the batch
         estimators').  A callback raising ``KeyboardInterrupt`` triggers
         the graceful-interrupt path.
+    n_threads : None, int or ParallelConfig
+        ``None`` (default) keeps the legacy single-sweep kernels —
+        bit-compatible with every earlier release — unless the
+        ``REPRO_N_THREADS`` environment variable engages the blocked
+        layer suite-wide.  An int (or a full
+        :class:`~repro.runtime.parallel.ParallelConfig`) runs each
+        batch's assignment and sufficient statistics, plus the final
+        full-data labeling, over fixed row blocks on a supervised
+        thread pool — bit-identical at every pool width, and the seam
+        that lets :meth:`fit` stream a :class:`numpy.memmap` ``X``
+        (batches are gathered copies; only the final labeling touches
+        the map, block by block).
 
     Attributes
     ----------
@@ -199,6 +215,7 @@ class MiniBatchKhatriRaoKMeans:
         checkpoint=None,
         resume_from=None,
         callback=None,
+        n_threads=None,
     ) -> None:
         self.cardinalities = check_cardinalities(cardinalities)
         self.aggregator = get_aggregator(aggregator)
@@ -215,6 +232,7 @@ class MiniBatchKhatriRaoKMeans:
         if callback is not None and not callable(callback):
             raise ValidationError(f"callback must be callable, got {callback!r}")
         self.callback = callback
+        self.n_threads = resolve_parallel(n_threads)
 
         self.protocentroids_: Optional[List[np.ndarray]] = None
         self.labels_: Optional[np.ndarray] = None
@@ -252,15 +270,39 @@ class MiniBatchKhatriRaoKMeans:
         return self.pruning != "none" and self.aggregator.supports_factored_assignment
 
     # ------------------------------------------------------------------ API
-    def fit(self, X) -> "MiniBatchKhatriRaoKMeans":
-        """Run ``max_steps`` mini-batch steps over ``X``."""
+    def fit(self, X, sample_weight=None) -> "MiniBatchKhatriRaoKMeans":
+        """Run ``max_steps`` mini-batch steps over ``X``.
+
+        ``sample_weight`` optionally weights each point, exactly as on the
+        batch estimators: batch statistics use the weighted Proposition 6.1
+        numerators, the learning-rate counts accumulate weighted *mass*
+        instead of point counts, and the reported inertia is the weighted
+        objective.  ``sample_weight=None`` reproduces the unweighted
+        schedule bit for bit.
+        """
         self.dtype_ = resolve_working_dtype(self.dtype, self.aggregator)
         X = check_array(
             X, min_samples=max(self.cardinalities), dtype=self.dtype_
         )
+        # None stays None: the unweighted schedule must not pay (or round
+        # through) a multiply by an all-ones weight column.
+        weights = (
+            None if sample_weight is None
+            else _check_sample_weight(sample_weight, X.shape[0], dtype=X.dtype)
+        )
         rng = check_random_state(self.random_state)
-        x_squared_norms = row_norms_squared(X)
-        fingerprint = data_fingerprint(X)
+        with open_row_pool(self.n_threads) as pool:
+            return self._fit(X, weights, rng, pool)
+
+    def _fit(self, X, weights, rng, parallel) -> "MiniBatchKhatriRaoKMeans":
+        x_squared_norms = row_norms_squared(X, parallel=parallel)
+        # The full-pass sha256 fingerprint only feeds checkpoint headers;
+        # plain fits (and streamed memmap fits) skip it entirely.
+        fingerprint = (
+            data_fingerprint(X, weights)
+            if self.checkpoint is not None or self.resume_from is not None
+            else None
+        )
         smoothed_shift = np.inf
         start = 1
         if self.resume_from is not None:
@@ -282,12 +324,20 @@ class MiniBatchKhatriRaoKMeans:
                     replace=False,
                 )
                 batch = X[indices]
+                # Fancy-indexed batches (and weights) are gathered copies,
+                # so a memory-mapped X is touched batch_size rows per step.
+                wb = None if weights is None else weights[indices]
                 if state is None:
-                    shift = self.partial_fit_batch(batch, rng)
+                    shift = self.partial_fit_batch(
+                        batch, rng, sample_weight=wb, parallel=parallel
+                    )
                 else:
-                    labels = self._pruned_batch_labels(batch, indices, state)
+                    labels = self._pruned_batch_labels(
+                        batch, indices, state, parallel
+                    )
                     shift, drift_tables = self._apply_batch_update(
-                        batch, labels, collect_drift=True
+                        batch, labels, collect_drift=True,
+                        sample_weight=wb, parallel=parallel,
                     )
                     state.advance(drift_tables)
                 smoothed_shift = shift if not np.isfinite(smoothed_shift) else (
@@ -309,20 +359,37 @@ class MiniBatchKhatriRaoKMeans:
             # enough to finalize (mid-step interrupts leave a partially
             # updated sweep — still a valid model to score).
             interrupted = True
-        self.labels_, distances = self._assign(X)
-        self.inertia_ = float(distances.sum(dtype=np.float64))
+        self.labels_, distances = self._assign(X, parallel=parallel)
+        # float64 reduction for any working dtype (exact no-op at f64).
+        self.inertia_ = float(
+            distances.sum(dtype=np.float64) if weights is None
+            else (distances * weights).sum(dtype=np.float64)
+        )
         self.converged_ = not interrupted
         return self
 
-    def partial_fit(self, batch) -> "MiniBatchKhatriRaoKMeans":
-        """Incrementally update the model with one batch (online use)."""
+    def partial_fit(self, batch, sample_weight=None) -> "MiniBatchKhatriRaoKMeans":
+        """Incrementally update the model with one batch (online use).
+
+        ``sample_weight`` optionally weights this batch's points — same
+        weighted schedule as :meth:`fit`.
+        """
         if self.dtype_ is None:
             self.dtype_ = resolve_working_dtype(self.dtype, self.aggregator)
         batch = check_array(batch, dtype=self.dtype_)
+        weights = (
+            None if sample_weight is None
+            else _check_sample_weight(
+                sample_weight, batch.shape[0], dtype=batch.dtype
+            )
+        )
         rng = check_random_state(self.random_state)
         if self.protocentroids_ is None:
             self._initialize(batch, rng)
-        self.partial_fit_batch(batch, rng)
+        with open_row_pool(self.n_threads) as pool:
+            self.partial_fit_batch(
+                batch, rng, sample_weight=weights, parallel=pool
+            )
         self.n_steps_ += 1
         return self
 
@@ -333,7 +400,8 @@ class MiniBatchKhatriRaoKMeans:
                 "MiniBatchKhatriRaoKMeans is not fitted yet; call fit first"
             )
         X = check_array(X, dtype=self.protocentroids_[0].dtype)
-        labels, _ = self._assign(X)
+        with open_row_pool(self.n_threads) as pool:
+            labels, _ = self._assign(X, parallel=pool)
         return labels
 
     def centroids(self) -> np.ndarray:
@@ -353,14 +421,15 @@ class MiniBatchKhatriRaoKMeans:
         return int(sum(theta.size for theta in self.protocentroids_))
 
     # ------------------------------------------------------------ internals
-    def _assign(self, X: np.ndarray, return_second: bool = False):
+    def _assign(self, X: np.ndarray, return_second: bool = False, parallel=None):
         if self.uses_factored_assignment:
             return assign_factored(
                 X, self.protocentroids_, self.aggregator,
-                return_second=return_second,
+                return_second=return_second, parallel=parallel,
             )
         return assign_to_nearest(
-            X, self.centroids(), return_second=return_second
+            X, self.centroids(), return_second=return_second,
+            parallel=parallel,
         )
 
     def _initialize(self, X: np.ndarray, rng: np.random.Generator) -> None:
@@ -489,14 +558,23 @@ class MiniBatchKhatriRaoKMeans:
         self.n_steps_ = step
         return state, float(header["smoothed_shift"]), step + 1
 
-    def partial_fit_batch(self, batch: np.ndarray, rng: np.random.Generator) -> float:
+    def partial_fit_batch(
+        self,
+        batch: np.ndarray,
+        rng: np.random.Generator,
+        sample_weight: Optional[np.ndarray] = None,
+        parallel=None,
+    ) -> float:
         """One mini-batch step; returns the total squared protocentroid shift."""
-        labels, _ = self._assign(batch)
-        shift, _ = self._apply_batch_update(batch, labels)
+        labels, _ = self._assign(batch, parallel=parallel)
+        shift, _ = self._apply_batch_update(
+            batch, labels, sample_weight=sample_weight, parallel=parallel
+        )
         return shift
 
     def _pruned_batch_labels(
-        self, batch: np.ndarray, indices: np.ndarray, state: StreamingBounds
+        self, batch: np.ndarray, indices: np.ndarray, state: StreamingBounds,
+        parallel=None,
     ) -> np.ndarray:
         """Batch labels with cross-step pruning.
 
@@ -511,7 +589,9 @@ class MiniBatchKhatriRaoKMeans:
         stale = ~settled
         if stale.any():
             sub = indices[stale]
-            new_labels, d1, d2 = self._assign(batch[stale], return_second=True)
+            new_labels, d1, d2 = self._assign(
+                batch[stale], return_second=True, parallel=parallel
+            )
             labels[stale] = new_labels
             state.record(sub, new_labels, d1, d2)
         self.reassignment_fractions_.append(
@@ -520,22 +600,42 @@ class MiniBatchKhatriRaoKMeans:
         return labels
 
     def _apply_batch_update(
-        self, batch: np.ndarray, labels: np.ndarray, collect_drift: bool = False
+        self,
+        batch: np.ndarray,
+        labels: np.ndarray,
+        collect_drift: bool = False,
+        sample_weight: Optional[np.ndarray] = None,
+        parallel=None,
     ) -> Tuple[float, Optional[List[np.ndarray]]]:
         """Apply the mini-batch protocentroid updates for fixed ``labels``.
 
         Returns the total squared protocentroid shift and, with
         ``collect_drift``, per-set tables of each protocentroid's movement
         norm this step — the increments :class:`StreamingBounds` accumulates.
+
+        ``sample_weight`` turns every batch statistic into its weighted
+        form (weighted Proposition 6.1 numerators, weighted mass in place
+        of point counts — the learning rate becomes the batch's share of
+        the total *mass* a protocentroid has absorbed); ``None`` is the
+        byte-identical unweighted schedule.  ``parallel`` row-blocks the
+        grouped reductions, folded in fixed block order.
         """
         thetas = self.protocentroids_
         set_labels = np.stack(np.unravel_index(labels, self.cardinalities), axis=1)
         is_product = self.aggregator.name == "product"
         factored = self.uses_factored_update
-        # The contingency tables depend only on the batch assignments, which
-        # are fixed for the whole sweep — one fused bincount per set pair.
+        w_column = (
+            None if sample_weight is None
+            else np.asarray(sample_weight, dtype=batch.dtype)[:, None]
+        )
+        # The contingency tables depend only on the batch assignments (and
+        # weights), which are fixed for the whole sweep — one fused bincount
+        # per set pair.
         tables = (
-            pair_count_tables(set_labels, self.cardinalities) if factored else None
+            pair_count_tables(
+                set_labels, self.cardinalities, sample_weight, parallel
+            )
+            if factored else None
         )
         total_shift = 0.0
         drift_tables = (
@@ -547,18 +647,34 @@ class MiniBatchKhatriRaoKMeans:
                 # Batch numerator without the (batch, m) rest gather; thetas
                 # is partially updated (sets < q), matching the gather sweep.
                 numerator = factored_sum_numerator(
-                    q, thetas, grouped_row_sum(assignments, batch, h), tables
+                    q, thetas,
+                    _weighted_grouped_row_sum(
+                        assignments, batch, sample_weight, h, parallel
+                    ),
+                    tables,
                 )
             else:
                 rest = _rest_contribution(
                     self.aggregator, thetas, set_labels, q, batch.shape[1]
                 )
                 if is_product:
-                    numerator = grouped_row_sum(assignments, batch * rest, h)
-                    denominator = grouped_row_sum(assignments, rest * rest, h)
+                    x_rest = (
+                        batch * rest if w_column is None
+                        else batch * rest * w_column
+                    )
+                    r_rest = (
+                        rest * rest if w_column is None
+                        else rest * rest * w_column
+                    )
+                    numerator = grouped_row_sum(assignments, x_rest, h, parallel)
+                    denominator = grouped_row_sum(assignments, r_rest, h, parallel)
                 else:
-                    numerator = grouped_row_sum(assignments, batch - rest, h)
-            batch_counts = np.bincount(assignments, minlength=h).astype(float)
+                    diff = (
+                        batch - rest if w_column is None
+                        else (batch - rest) * w_column
+                    )
+                    numerator = grouped_row_sum(assignments, diff, h, parallel)
+            batch_counts = _group_mass(assignments, sample_weight, h, parallel)
             for j in np.flatnonzero(batch_counts > 0):
                 if is_product:
                     safe = denominator[j] > _EPSILON

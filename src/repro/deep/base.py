@@ -26,6 +26,7 @@ from .._validation import (
     check_cardinalities,
     check_positive_int,
     check_random_state,
+    int_prod,
 )
 from ..autodiff import Tensor, no_grad
 from ..core import KhatriRaoKMeans, KMeans
@@ -117,7 +118,7 @@ class BaseDeepClustering:
         self.n_clusters = (
             check_positive_int(n_clusters, "n_clusters")
             if n_clusters is not None
-            else int(np.prod(self.cardinalities))
+            else int_prod(self.cardinalities)
         )
         self.aggregator = get_aggregator(aggregator)
         self.hidden_dims = tuple(int(d) for d in hidden_dims)

@@ -32,6 +32,7 @@ from .._validation import (
     check_dtype,
     check_positive_int,
     check_random_state,
+    int_prod,
 )
 from ..core._distances import assign_to_nearest
 from ..core._factored import assign_factored, grouped_row_sum
@@ -257,7 +258,7 @@ class KhatriRaoFederatedKMeans:
 
     @property
     def n_clusters(self) -> int:
-        return int(np.prod(self.cardinalities))
+        return int_prod(self.cardinalities)
 
     def fit(
         self, shards: Sequence[Tuple[np.ndarray, np.ndarray]]

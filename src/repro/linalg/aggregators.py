@@ -83,7 +83,7 @@ from typing import List, Sequence
 
 import numpy as np
 
-from .._validation import as_float_array, check_dtype
+from .._validation import as_float_array, check_dtype, int_prod
 from ..exceptions import DtypeFallbackWarning, ValidationError
 
 __all__ = [
@@ -279,7 +279,7 @@ class SumAggregator(Aggregator):
             for old, new in zip(old_thetas, new_thetas)
         ]
         cardinalities = [delta.shape[0] for delta in deltas]
-        k = int(np.prod(cardinalities))
+        k = int_prod(cardinalities)
         totals = [delta.sum(axis=0) for delta in deltas]
         shift = 0.0
         for q, delta in enumerate(deltas):

@@ -20,7 +20,7 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
-from .._validation import as_float_array, check_cardinalities
+from .._validation import as_float_array, check_cardinalities, int_prod
 from ..exceptions import ValidationError
 from .aggregators import get_aggregator
 
@@ -42,7 +42,8 @@ def num_combinations(cardinalities: Sequence[int]) -> int:
     9
     """
     cards = check_cardinalities(cardinalities)
-    return int(np.prod(cards))
+    # int_prod, not np.prod: int64 wraps past 2**63 (e.g. eight sets of 256).
+    return int_prod(cards)
 
 
 def tuple_to_flat(indices: Sequence[int], cardinalities: Sequence[int]) -> int:
@@ -79,7 +80,7 @@ def flat_to_tuple(flat: int, cardinalities: Sequence[int]) -> Tuple[int, ...]:
     (1, 2)
     """
     cards = check_cardinalities(cardinalities)
-    total = int(np.prod(cards))
+    total = int_prod(cards)
     flat = int(flat)
     if not 0 <= flat < total:
         raise ValidationError(f"flat index {flat} out of range for {cards} ({total} combos)")

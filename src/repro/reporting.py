@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ._validation import check_array, check_positive_int
+from ._validation import check_array, check_positive_int, int_prod
 from .core import KhatriRaoKMeans, KMeans, balanced_factor_pair
 from .metrics import (
     adjusted_rand_index,
@@ -93,11 +93,11 @@ def compare_methods(
         f"k-Means({sum(cards)})", panel["ari"], panel["acc"], panel["nmi"],
         panel["inertia"], small.parameter_count(),
     ))
-    full = KMeans(int(np.prod(cards)), n_init=n_init,
+    full = KMeans(int_prod(cards), n_init=n_init,
                   random_state=random_state).fit(X)
     panel = evaluate_summary(X, y, full.labels_, full.cluster_centers_)
     results.append(MethodResult(
-        f"k-Means({int(np.prod(cards))})", panel["ari"], panel["acc"],
+        f"k-Means({int_prod(cards)})", panel["ari"], panel["acc"],
         panel["nmi"], panel["inertia"], full.parameter_count(),
     ))
     return results

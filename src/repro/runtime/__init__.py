@@ -2,10 +2,12 @@
 
 The execution layer under every estimator's ``fit``: atomic
 checkpoint/resume with bit-identical continuation
-(:mod:`~repro.runtime.checkpoint`) and supervised parallel ``n_init``
+(:mod:`~repro.runtime.checkpoint`), supervised parallel ``n_init``
 restarts with retries, timeouts and deterministic selection
-(:mod:`~repro.runtime.executor`).  See ``docs/reliability.md`` for the
-operator-facing story.
+(:mod:`~repro.runtime.executor`), and the deterministic row-block layer
+that parallelizes the per-iteration kernels and streams memory-mapped
+inputs (:mod:`~repro.runtime.parallel`).  See ``docs/reliability.md``
+for the operator-facing story.
 """
 
 from .checkpoint import (
@@ -26,19 +28,35 @@ from .executor import (
     resolve_executor,
     run_restarts,
 )
+from .parallel import (
+    DEFAULT_BLOCK_ROWS,
+    ParallelConfig,
+    RowBlockPool,
+    fold_blocks,
+    open_row_pool,
+    resolve_parallel,
+    row_blocks,
+)
 
 __all__ = [
     "CheckpointConfig",
+    "DEFAULT_BLOCK_ROWS",
     "ExecutorConfig",
+    "ParallelConfig",
     "RestartFailure",
     "RestartOutcome",
     "RestartReport",
+    "RowBlockPool",
     "array_digest",
     "data_fingerprint",
+    "fold_blocks",
+    "open_row_pool",
     "read_checkpoint",
     "resolve_checkpoint",
     "resolve_executor",
+    "resolve_parallel",
     "restore_rng_state",
+    "row_blocks",
     "run_restarts",
     "serialize_rng_state",
     "write_checkpoint",

@@ -28,10 +28,14 @@ class TokenBucket:
     Parameters
     ----------
     rate : float
-        Sustained tokens (requests) per second.  Must be > 0.
+        Sustained tokens (requests) per second.  Must be > 0.  Rates below
+        one are valid (e.g. ``0.5`` = one request every two seconds).
     capacity : float
-        Burst size: the maximum token balance.  Defaults to ``rate``
-        (one second of burst).
+        Burst size: the maximum token balance.  Must be >= 1 when given
+        (a bucket that can never hold a whole token admits nothing).
+        Defaults to ``max(rate, 1)`` — one second of burst, floored so
+        sub-1-rps rates still admit single requests instead of crashing
+        construction.
     clock : callable
         Monotonic-seconds source; defaults to :func:`time.monotonic`.
     """
@@ -46,7 +50,12 @@ class TokenBucket:
         if rate <= 0:
             raise ValueError(f"rate must be > 0, got {rate}")
         self.rate = float(rate)
-        self.capacity = float(capacity if capacity is not None else rate)
+        # The default burst is one second of rate, floored at one whole
+        # token: defaulting to the raw rate made every sub-1-rps server
+        # (serve --rate-limit 0.5) die on the capacity check below.
+        self.capacity = (
+            float(capacity) if capacity is not None else max(self.rate, 1.0)
+        )
         if self.capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {self.capacity}")
         self._clock = clock

@@ -30,7 +30,13 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
-from ._validation import as_float_array, check_array, check_dtype, check_random_state
+from ._validation import (
+    as_float_array,
+    check_array,
+    check_dtype,
+    check_random_state,
+    int_prod,
+)
 from .core._distances import assign_to_nearest
 from .core._factored import assign_factored
 from .core._update import resolve_update, update_protocentroids
@@ -97,7 +103,9 @@ class DataSummary:
 
     @property
     def n_clusters(self) -> int:
-        return int(np.prod(self.cardinalities))
+        # int_prod, not np.prod: the implicit grid size overflows int64
+        # for large configurations and np.prod silently wraps.
+        return int_prod(self.cardinalities)
 
     @property
     def stored_vectors(self) -> int:

@@ -1,0 +1,91 @@
+"""Regression tests for int64 overflow in implicit grid sizes.
+
+``int(np.prod(cardinalities))`` computes in int64 and silently wraps once
+``∏ h_q`` exceeds ``2**63 - 1`` — e.g. ``np.prod([2**32, 2**32])`` is 0 —
+corrupting ``n_clusters``, flat-index round trips and compression ratios
+for large Khatri-Rao configurations.  Every grid size now routes through
+:func:`repro._validation.int_prod`, which computes in arbitrary-precision
+Python ints.
+"""
+
+import numpy as np
+import pytest
+
+from repro import KhatriRaoKMeans
+from repro._validation import int_prod
+from repro.core import MiniBatchKhatriRaoKMeans
+from repro.linalg import num_combinations
+from repro.linalg.khatri_rao import flat_to_tuple, tuple_to_flat
+
+# Eight sets of 256: ∏ h_q = 2**64, one past the int64 wrap point.
+HUGE_CARDS = (256,) * 8
+HUGE_K = 2 ** 64
+
+
+class TestIntProd:
+    def test_matches_np_prod_in_range(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            values = rng.integers(1, 50, size=rng.integers(1, 6))
+            assert int_prod(values) == int(np.prod(values))
+
+    def test_empty_product_is_one(self):
+        assert int_prod(()) == 1
+
+    def test_numpy_scalars_accepted(self):
+        assert int_prod(np.array([3, 4], dtype=np.int32)) == 12
+
+    def test_exact_past_int64(self):
+        # The motivating failure: np.prod wraps to 0 here.
+        assert int(np.prod([2 ** 32, 2 ** 32])) == 0
+        assert int_prod([2 ** 32, 2 ** 32]) == 2 ** 64
+
+    def test_python_int_type(self):
+        result = int_prod(HUGE_CARDS)
+        assert type(result) is int
+        assert result == HUGE_K
+
+
+class TestHugeGrids:
+    def test_num_combinations_past_int64(self):
+        assert num_combinations((2 ** 32, 2 ** 32)) == 2 ** 64
+        assert num_combinations(HUGE_CARDS) == HUGE_K
+
+    def test_flat_tuple_roundtrip_at_huge_k(self):
+        for flat in (0, HUGE_K - 1, HUGE_K // 2, 123456789012345678901 % HUGE_K):
+            indices = flat_to_tuple(flat, HUGE_CARDS)
+            assert tuple_to_flat(indices, HUGE_CARDS) == flat
+
+    def test_flat_range_check_uses_exact_total(self):
+        # With the wrapped total (0) every index was "out of range".
+        from repro.exceptions import ValidationError
+
+        flat_to_tuple(HUGE_K - 1, HUGE_CARDS)
+        with pytest.raises(ValidationError):
+            flat_to_tuple(HUGE_K, HUGE_CARDS)
+
+    def test_estimator_n_clusters(self):
+        assert KhatriRaoKMeans(HUGE_CARDS).n_clusters == HUGE_K
+        assert MiniBatchKhatriRaoKMeans(HUGE_CARDS).n_clusters == HUGE_K
+
+    def test_summary_n_clusters(self):
+        from repro.summary import DataSummary
+
+        thetas = [np.zeros((h, 2)) for h in HUGE_CARDS]
+        summary = DataSummary(protocentroids=thetas, aggregator_name="sum")
+        assert summary.n_clusters == HUGE_K
+
+    def test_aggregator_factored_shift_exact_k(self):
+        # factored_shift divides cross terms by per-set grid factors derived
+        # from k; a wrapped k would poison the closed-form shift.  Use a
+        # shape small enough to compute but checked against the dense value.
+        from repro.linalg import get_aggregator, khatri_rao_combine
+
+        rng = np.random.default_rng(1)
+        old = [rng.normal(size=(3, 4)), rng.normal(size=(2, 4))]
+        new = [t + rng.normal(size=t.shape) for t in old]
+        agg = get_aggregator("sum")
+        dense = float(np.sum(
+            (khatri_rao_combine(new, agg) - khatri_rao_combine(old, agg)) ** 2
+        ))
+        assert agg.factored_shift(old, new) == pytest.approx(dense)

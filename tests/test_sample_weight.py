@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro import KhatriRaoKMeans, KMeans
+from repro.core import MiniBatchKhatriRaoKMeans
 from repro.exceptions import ValidationError
 
 
@@ -89,3 +90,102 @@ class TestKhatriRaoWeights:
         X, _, _ = blobs_grid_9
         with pytest.raises(ValidationError):
             KhatriRaoKMeans((2, 2)).fit(X, np.ones(5))
+
+
+class TestMiniBatchWeights:
+    """fit(X) grew sample_weight= to match the batch estimators (the API
+    asymmetry bugfix): weighted batch numerators, mass-based learning
+    rates, weighted inertia."""
+
+    def test_unit_weights_bit_identical_to_unweighted(self, blobs_grid_9):
+        X, _, _ = blobs_grid_9
+        plain = MiniBatchKhatriRaoKMeans(
+            (3, 3), batch_size=64, max_steps=30, random_state=0
+        ).fit(X)
+        weighted = MiniBatchKhatriRaoKMeans(
+            (3, 3), batch_size=64, max_steps=30, random_state=0
+        ).fit(X, sample_weight=np.ones(X.shape[0]))
+        # Unit weights take the weighted code path but every statistic
+        # (mass, numerator, eta) is value-identical, and the rng draws the
+        # same batches — the trajectories coincide exactly.
+        np.testing.assert_array_equal(weighted.labels_, plain.labels_)
+        assert weighted.inertia_ == plain.inertia_
+        assert weighted.n_steps_ == plain.n_steps_
+
+    def test_integer_weights_approximate_repetition(self):
+        rng = np.random.default_rng(0)
+        base = np.array([[0.0, 0.0], [0.0, 6.0], [6.0, 0.0], [6.0, 6.0]])
+        X = np.vstack([b + 0.1 * rng.normal(size=(40, 2)) for b in base])
+        counts = rng.integers(1, 4, size=X.shape[0])
+        weighted = MiniBatchKhatriRaoKMeans(
+            (2, 2), batch_size=80, max_steps=60, random_state=0
+        ).fit(X, sample_weight=counts.astype(float))
+        replicated = MiniBatchKhatriRaoKMeans(
+            (2, 2), batch_size=80, max_steps=60, random_state=0
+        ).fit(np.repeat(X, counts, axis=0))
+        # Stochastic schedules on different streams: compare the recovered
+        # centroid sets, not trajectories.
+        np.testing.assert_allclose(
+            np.sort(weighted.centroids(), axis=0),
+            np.sort(replicated.centroids(), axis=0),
+            atol=0.35,
+        )
+
+    def test_heavy_points_attract_protocentroids(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(0.0, 1.0, size=(120, 2))
+        weights = np.ones(120)
+        weights[:12] = 100.0
+        plain = MiniBatchKhatriRaoKMeans(
+            (2, 2), batch_size=60, max_steps=40, random_state=0
+        ).fit(X)
+        weighted = MiniBatchKhatriRaoKMeans(
+            (2, 2), batch_size=60, max_steps=40, random_state=0
+        ).fit(X, sample_weight=weights)
+        assert not np.allclose(plain.centroids(), weighted.centroids())
+
+    def test_weighted_inertia_is_weighted_objective(self, blobs_grid_9):
+        X, _, _ = blobs_grid_9
+        rng = np.random.default_rng(2)
+        w = rng.uniform(0.5, 2.0, size=X.shape[0])
+        model = MiniBatchKhatriRaoKMeans(
+            (3, 3), batch_size=64, max_steps=30, random_state=0
+        ).fit(X, sample_weight=w)
+        centroids = model.centroids()
+        expected = float(np.sum(
+            w * np.sum((X - centroids[model.labels_]) ** 2, axis=1)
+        ))
+        assert model.inertia_ == pytest.approx(expected)
+
+    def test_pruned_schedule_matches_unpruned_weighted(self, blobs_grid_9):
+        X, _, _ = blobs_grid_9
+        rng = np.random.default_rng(3)
+        w = rng.uniform(0.5, 2.0, size=X.shape[0])
+        pruned = MiniBatchKhatriRaoKMeans(
+            (3, 3), batch_size=64, max_steps=30, random_state=0,
+            pruning="bounds",
+        ).fit(X, sample_weight=w)
+        unpruned = MiniBatchKhatriRaoKMeans(
+            (3, 3), batch_size=64, max_steps=30, random_state=0,
+            pruning="none",
+        ).fit(X, sample_weight=w)
+        np.testing.assert_array_equal(pruned.labels_, unpruned.labels_)
+        assert pruned.inertia_ == unpruned.inertia_
+
+    def test_partial_fit_accepts_weights(self, blobs_grid_9):
+        X, _, _ = blobs_grid_9
+        w = np.ones(X.shape[0])
+        model = MiniBatchKhatriRaoKMeans((2, 2), random_state=0)
+        model.partial_fit(X[:60], sample_weight=w[:60])
+        model.partial_fit(X[60:120])
+        assert model.n_steps_ == 2
+        assert model.predict(X).shape == (X.shape[0],)
+
+    def test_invalid_weights(self, blobs_grid_9):
+        X, _, _ = blobs_grid_9
+        with pytest.raises(ValidationError):
+            MiniBatchKhatriRaoKMeans((2, 2)).fit(X, sample_weight=np.ones(5))
+        with pytest.raises(ValidationError):
+            MiniBatchKhatriRaoKMeans((2, 2)).fit(
+                X, sample_weight=-np.ones(X.shape[0])
+            )

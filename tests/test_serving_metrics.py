@@ -133,6 +133,33 @@ class TestTokenBucket:
         with pytest.raises(ValueError):
             TokenBucket(rate=1.0, capacity=0.5)
 
+    def test_sub_1_rps_default_capacity(self):
+        # The default burst used to be the raw rate, so any sub-1-rps
+        # server (serve --rate-limit 0.5) crashed on the capacity >= 1
+        # check at construction.  The default is now floored at one token.
+        clock = FakeClock()
+        bucket = TokenBucket(rate=0.5, clock=clock)
+        assert bucket.capacity == 1.0
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(2.0)  # one token back at 0.5/s
+        assert bucket.try_acquire()
+
+    def test_sub_1_rps_retry_after(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=0.5, clock=clock)
+        bucket.acquire_or_raise()
+        with pytest.raises(RateLimitError) as excinfo:
+            bucket.acquire_or_raise()
+        # One token at 0.5/s: back in two seconds.
+        assert excinfo.value.retry_after == pytest.approx(2.0)
+
+    def test_explicit_fractional_capacity_still_rejected(self):
+        # Only the *default* is floored; an explicit sub-token burst is
+        # still a configuration error.
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.5, capacity=0.5)
+
 
 class FakeClock:
     def __init__(self):
