@@ -24,6 +24,9 @@ Public surface
 * :mod:`repro.federated` — FkM and Khatri-Rao-FkM;
 * :mod:`repro.serving` — the batched model server (registry,
   micro-batcher, HTTP front end, metrics) over fitted summaries;
+* :mod:`repro.monitoring` — streaming drift monitoring over online
+  ``partial_fit`` (typed alerts, intervention policies, the
+  golden-dataset regression harness);
 * :mod:`repro.runtime` — fault-tolerant training runtime
   (checkpoint/resume, supervised parallel restarts), with the shared
   fault-injection vocabulary in :mod:`repro.faults`;
@@ -36,14 +39,16 @@ from . import applications, core, datasets, deep, federated, linalg, metrics, vi
 from .core import KhatriRaoKMeans, KMeans, MiniBatchKhatriRaoKMeans, NaiveKhatriRao
 from .deep import DEC, DKM, IDEC, KhatriRaoDEC, KhatriRaoDKM, KhatriRaoIDEC
 from .summary import DataSummary, summarize
-from . import faults, runtime, serving
+from . import faults, monitoring, runtime, serving
 from .exceptions import (
     BatcherStoppedError,
     CheckpointError,
     ConvergenceWarning,
     DatasetError,
     DtypeFallbackWarning,
+    GoldenMismatchError,
     ModelNotFoundError,
+    MonitoringError,
     NotFittedError,
     QuorumError,
     RateLimitError,
@@ -81,6 +86,8 @@ __all__ = [
     "RestartFailedError",
     "QuorumError",
     "NotFittedError",
+    "MonitoringError",
+    "GoldenMismatchError",
     "DatasetError",
     "ServingError",
     "ModelNotFoundError",
@@ -96,6 +103,7 @@ __all__ = [
     "applications",
     "linalg",
     "metrics",
+    "monitoring",
     "runtime",
     "serving",
     "viz",

@@ -14,6 +14,10 @@ Commands
 ``serve``
     Serve saved summaries over HTTP with micro-batched kernel calls
     (:mod:`repro.serving`); float32 is the default serving dtype.
+``monitor``
+    Replay the committed golden drift scenarios
+    (:mod:`repro.monitoring.evaluation`) and fail on any behavioral
+    delta; optionally write the JSON alert-timeline report.
 
 Examples
 --------
@@ -25,6 +29,7 @@ Examples
     python -m repro.cli summary summary.npz
     python -m repro.cli quantize --colors 6 6
     python -m repro.cli serve --model stickfigures=summary.npz --port 8080
+    python -m repro.cli monitor --goldens tests/goldens --report report.json
 """
 
 from __future__ import annotations
@@ -141,6 +146,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "overflow sheds with 503 (default 131072)")
     serve.add_argument("--quiet", action="store_true",
                        help="suppress the per-request access log")
+
+    monitor = subparsers.add_parser(
+        "monitor", help="replay the golden drift scenarios (regression net)"
+    )
+    monitor.add_argument("--goldens", default="tests/goldens",
+                         help="directory of scenario .npz files "
+                              "(default: tests/goldens)")
+    monitor.add_argument("--report", default=None, metavar="PATH",
+                         help="write the JSON alert-timeline report here "
+                              "(written on failure too, for CI artifacts)")
     return parser
 
 
@@ -313,12 +328,22 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_monitor(args) -> int:
+    from .monitoring.evaluation import main as run_goldens
+
+    argv = ["--goldens", args.goldens]
+    if args.report:
+        argv += ["--report", args.report]
+    return run_goldens(argv)
+
+
 _COMMANDS = {
     "datasets": _cmd_datasets,
     "fit": _cmd_fit,
     "summary": _cmd_summary,
     "quantize": _cmd_quantize,
     "serve": _cmd_serve,
+    "monitor": _cmd_monitor,
 }
 
 

@@ -40,7 +40,7 @@ from .design import (
 from .gmeans import GMeans, anderson_darling_rejects_gaussian
 from .kmeans import KMeans, kmeans_plus_plus_init
 from .kr_kmeans import KhatriRaoKMeans
-from .minibatch import MiniBatchKhatriRaoKMeans
+from .minibatch import BatchStats, MiniBatchKhatriRaoKMeans
 from .model_selection import KhatriRaoXMeans, XMeans, bic_score
 from .naive import NaiveKhatriRao, decompose_centroids
 
@@ -57,6 +57,7 @@ __all__ = [
     "HamerlyBounds",
     "StreamingBounds",
     "KhatriRaoKMeans",
+    "BatchStats",
     "MiniBatchKhatriRaoKMeans",
     "NaiveKhatriRao",
     "decompose_centroids",

@@ -94,6 +94,17 @@ Two state objects live here:
   into cumulative per-protocentroid tables and every point anchors the
   cumulative totals at its last exact assignment, so the inflation owed by a
   point is reconstructed lazily when it is next sampled.
+
+:class:`StreamingBounds` additionally supports a *dynamic* mode
+(:meth:`StreamingBounds.for_stream`) for online ``partial_fit`` streams,
+where the point universe is not known up front: the caller identifies each
+batch row by a stable integer index (the point-identity protocol), the
+per-point state grows amortized-doubling as new indices appear, and the
+certified margins are seeded per point from the batch's ``‖x‖²`` at
+:meth:`StreamingBounds.observe` time.  A known index re-presented with a
+different squared norm is treated as a *new* point (its cached bounds are
+invalidated), so an identity-contract violation degrades to a full
+re-score instead of a wrong label.
 """
 
 from __future__ import annotations
@@ -354,7 +365,7 @@ class StreamingBounds:
     __slots__ = (
         "cardinalities", "known", "labels", "upper", "lower",
         "u_anchor", "m_anchor", "cum", "cum_max",
-        "_margin_base", "_eps_factor",
+        "_margin_base", "_eps_factor", "dynamic", "size", "norms",
     )
 
     def __init__(
@@ -379,6 +390,94 @@ class StreamingBounds:
         self.m_anchor = np.zeros(n)
         self.cum = [np.zeros(h) for h in self.cardinalities]
         self.cum_max = 0.0
+        self.dynamic = False
+        self.size = n
+        self.norms = None
+
+    @classmethod
+    def for_stream(
+        cls,
+        n_features: int,
+        cardinalities: Sequence[int],
+        seed_dtype=np.float64,
+    ) -> "StreamingBounds":
+        """Bounds over an *open* point universe (online ``partial_fit``).
+
+        The caller addresses points by stable non-negative integer indices;
+        per-point state grows on demand (:meth:`observe`) and the certified
+        margin of each point is seeded from its ``‖x‖²`` the first time the
+        point is presented.  ``seed_dtype`` is the working dtype the
+        distance kernels score in, exactly as the static constructor infers
+        it from the hoisted norms vector.
+        """
+        state = cls(
+            np.zeros(0, dtype=np.dtype(seed_dtype)), n_features, cardinalities
+        )
+        state.dynamic = True
+        state.norms = np.zeros(0)
+        return state
+
+    def _grow_to(self, capacity: int) -> None:
+        """Amortized-doubling growth of every per-point array."""
+        current = self.known.shape[0]
+        if capacity <= current:
+            return
+        capacity = max(capacity, 2 * current)
+        grown = capacity - current
+        self.known = np.concatenate([self.known, np.zeros(grown, dtype=bool)])
+        self.labels = np.concatenate(
+            [self.labels, np.zeros(grown, dtype=np.int64)]
+        )
+        for name in ("upper", "lower", "u_anchor", "m_anchor",
+                     "_margin_base", "norms"):
+            setattr(self, name, np.concatenate(
+                [getattr(self, name), np.zeros(grown)]
+            ))
+
+    def observe(self, idx: np.ndarray, x_squared_norms: np.ndarray) -> None:
+        """Present a batch of stable indices with their squared norms.
+
+        Dynamic mode only.  Grows capacity past ``max(idx)``, seeds the
+        per-point certified margin from ``‖x‖²`` (float64, so re-presenting
+        the same row reproduces the same margin bit for bit), and
+        invalidates any cached bounds whose stored norm contradicts the
+        presented one — the caller broke the "one index, one immutable
+        point" contract for that index, so it is re-scored exactly instead
+        of trusting stale bounds.
+        """
+        if not self.dynamic:
+            raise ValidationError(
+                "observe() requires dynamic StreamingBounds (for_stream)"
+            )
+        self._grow_to(int(idx.max()) + 1 if idx.size else 0)
+        self.size = max(self.size, int(idx.max()) + 1 if idx.size else 0)
+        norms64 = np.asarray(x_squared_norms, dtype=np.float64)
+        changed = self.known[idx] & (self.norms[idx] != norms64)
+        if changed.any():
+            self.known[idx[changed]] = False
+        self.norms[idx] = norms64
+        self._margin_base[idx] = self._eps_factor * norms64
+
+    def state_arrays(self) -> dict:
+        """Per-point state trimmed to the indices actually seen.
+
+        The trim makes serialized state independent of the amortized
+        growth pattern: a stream checkpointed and resumed mid-sequence
+        carries exactly the same arrays as the uninterrupted stream.
+        """
+        n = self.size
+        out = {
+            "known": self.known[:n].copy(),
+            "labels": self.labels[:n].copy(),
+            "upper": self.upper[:n].copy(),
+            "lower": self.lower[:n].copy(),
+            "u_anchor": self.u_anchor[:n].copy(),
+            "m_anchor": self.m_anchor[:n].copy(),
+        }
+        if self.dynamic:
+            out["norms"] = self.norms[:n].copy()
+            out["margin_base"] = self._margin_base[:n].copy()
+        return out
 
     def _assigned_cum(self, labels: np.ndarray) -> np.ndarray:
         """Σ_q cum_q[j_q] for the given flat labels."""

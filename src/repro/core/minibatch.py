@@ -24,10 +24,22 @@ drift tables at its last exact assignment, so when a point is re-sampled
 after the learning rates have decayed, the telescoped triangle inequality
 usually certifies its cached label and the batch re-scores only the stale
 points — identical labels and updates to the unpruned schedule.
+
+:meth:`partial_fit` extends the same pruning to *online* streams through
+the opt-in point-identity protocol: a caller that can name its rows with
+stable integer indices (``partial_fit(batch, index=...)``) gets a dynamic
+:class:`~repro.core._bounds.StreamingBounds` that carries certified bounds
+across batches, so re-presented points whose cached label is provably
+still nearest skip the argmin — bit-identical labels, inertia and updates
+to the anonymous (unpruned) stream.  Every completed step also publishes a
+read-only :class:`BatchStats` snapshot (``last_batch_stats_``), the
+contract the :mod:`repro.monitoring` drift engine consumes without
+reaching into private attributes.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
 
@@ -77,9 +89,60 @@ from ._update import (
 )
 from .kmeans import _check_sample_weight
 
-__all__ = ["MiniBatchKhatriRaoKMeans"]
+__all__ = ["BatchStats", "MiniBatchKhatriRaoKMeans"]
 
 _EPSILON = 1e-12
+
+
+@dataclass(frozen=True)
+class BatchStats:
+    """Read-only statistics snapshot of one completed mini-batch step.
+
+    Published as ``last_batch_stats_`` by every step of
+    :meth:`MiniBatchKhatriRaoKMeans.fit` / :meth:`~MiniBatchKhatriRaoKMeans.partial_fit`
+    — the stable surface monitors (:mod:`repro.monitoring`) consume
+    instead of reaching into private estimator attributes.  All arrays
+    are read-only copies; every value is a pure function of
+    ``(batch, labels, pre-update model state)``, so pruned and unpruned
+    streams with identical labels publish identical snapshots.
+    """
+
+    #: 1-based step number this snapshot describes.
+    step: int
+    #: rows in the batch.
+    batch_size: int
+    #: total weighted mass of the batch (``batch_size`` when unweighted).
+    mass: float
+    #: weighted batch inertia against the *pre-update* protocentroids.
+    inertia: float
+    #: ``inertia / mass`` — the scale-free trajectory signal.
+    mean_inertia: float
+    #: total squared protocentroid shift applied by this step.
+    shift: float
+    #: share of the batch that was fully re-scored (1.0 when unpruned).
+    reassignment_fraction: float
+    #: the batch's (read-only) flat centroid labels.
+    labels: np.ndarray
+    #: per-set read-only tables ``‖Δθ_q[j]‖`` of this step's movement.
+    drift_norms: Tuple[np.ndarray, ...]
+
+    @property
+    def max_drift(self) -> float:
+        """Upper bound on any centroid's movement: ``Σ_q max_j ‖Δθ_q[j]‖``."""
+        return float(sum(table.max() for table in self.drift_norms))
+
+    def to_dict(self) -> dict:
+        """Scalar fields as a JSON-able dict (arrays omitted)."""
+        return {
+            "step": self.step,
+            "batch_size": self.batch_size,
+            "mass": self.mass,
+            "inertia": self.inertia,
+            "mean_inertia": self.mean_inertia,
+            "shift": self.shift,
+            "reassignment_fraction": self.reassignment_fraction,
+            "max_drift": self.max_drift,
+        }
 
 
 class MiniBatchKhatriRaoKMeans:
@@ -177,9 +240,16 @@ class MiniBatchKhatriRaoKMeans:
     inertia_ : float
     n_steps_ : int
     reassignment_fractions_ : list of float or None
-        Fraction of each fitted batch that was fully re-scored (1.0 until
-        points start being re-sampled, then decaying as learning rates
-        shrink); ``None`` when pruning is disabled.
+        Per-step fraction of the batch that was fully re-scored.  ``None``
+        exactly when pruning is disabled for this estimator
+        (``uses_pruning`` is False); otherwise **every** completed step —
+        pruned :meth:`fit` steps, indexed :meth:`partial_fit` batches, and
+        anonymous batches that could not prune (recorded as 1.0) — appends
+        exactly one entry, so the list always aligns with ``n_steps_``
+        (one code path, :meth:`_finish_step`).
+    last_batch_stats_ : BatchStats or None
+        Read-only statistics snapshot of the most recently completed step
+        (``None`` before the first step) — the stable monitoring surface.
     dtype_ : numpy.dtype
         Working dtype training actually ran in (after capability
         resolution).
@@ -239,9 +309,11 @@ class MiniBatchKhatriRaoKMeans:
         self.inertia_: float = np.inf
         self.n_steps_: int = 0
         self.reassignment_fractions_: Optional[List[float]] = None
+        self.last_batch_stats_: Optional[BatchStats] = None
         self.dtype_: Optional[np.dtype] = None
         self.converged_: bool = False
         self._counts: Optional[List[np.ndarray]] = None
+        self._stream_state: Optional[StreamingBounds] = None
 
     @property
     def n_clusters(self) -> int:
@@ -291,6 +363,11 @@ class MiniBatchKhatriRaoKMeans:
             else _check_sample_weight(sample_weight, X.shape[0], dtype=X.dtype)
         )
         rng = check_random_state(self.random_state)
+        # A fresh training run owns its own bounds over X's positional
+        # indices; any point-identity stream state from earlier
+        # partial_fit calls names a different universe.
+        self._stream_state = None
+        self.last_batch_stats_ = None
         with open_row_pool(self.n_threads) as pool:
             return self._fit(X, weights, rng, pool)
 
@@ -332,14 +409,12 @@ class MiniBatchKhatriRaoKMeans:
                         batch, rng, sample_weight=wb, parallel=parallel
                     )
                 else:
-                    labels = self._pruned_batch_labels(
+                    labels, fraction = self._pruned_batch_labels(
                         batch, indices, state, parallel
                     )
-                    shift, drift_tables = self._apply_batch_update(
-                        batch, labels, collect_drift=True,
-                        sample_weight=wb, parallel=parallel,
+                    shift = self._finish_step(
+                        batch, labels, fraction, wb, parallel, state
                     )
-                    state.advance(drift_tables)
                 smoothed_shift = shift if not np.isfinite(smoothed_shift) else (
                     0.7 * smoothed_shift + 0.3 * shift
                 )
@@ -368,11 +443,25 @@ class MiniBatchKhatriRaoKMeans:
         self.converged_ = not interrupted
         return self
 
-    def partial_fit(self, batch, sample_weight=None) -> "MiniBatchKhatriRaoKMeans":
+    def partial_fit(
+        self, batch, sample_weight=None, index=None
+    ) -> "MiniBatchKhatriRaoKMeans":
         """Incrementally update the model with one batch (online use).
 
         ``sample_weight`` optionally weights this batch's points — same
         weighted schedule as :meth:`fit`.
+
+        ``index`` opts into the point-identity protocol: a 1-D array of
+        stable non-negative integer ids, one per batch row, where the same
+        id always names the same immutable point across calls.  With
+        identities, cross-batch Hamerly pruning engages (when
+        ``uses_pruning``): re-presented points whose certified bounds
+        still hold skip the argmin, and the stream is bit-identical —
+        labels, inertia, updates — to the same stream without ``index``.
+        An id re-presented with a different ``‖x‖²`` is treated as new
+        (re-scored exactly), so contract violations degrade pruning
+        instead of corrupting labels.  Anonymous batches (``index=None``)
+        keep the historical fully-re-scored behavior.
         """
         if self.dtype_ is None:
             self.dtype_ = resolve_working_dtype(self.dtype, self.aggregator)
@@ -383,14 +472,39 @@ class MiniBatchKhatriRaoKMeans:
                 sample_weight, batch.shape[0], dtype=batch.dtype
             )
         )
+        index = self._check_stream_index(index, batch.shape[0])
         rng = check_random_state(self.random_state)
         if self.protocentroids_ is None:
             self._initialize(batch, rng)
         with open_row_pool(self.n_threads) as pool:
-            self.partial_fit_batch(
-                batch, rng, sample_weight=weights, parallel=pool
-            )
+            if index is not None and self.uses_pruning:
+                self._indexed_partial_fit_batch(batch, index, weights, pool)
+            else:
+                self.partial_fit_batch(
+                    batch, rng, sample_weight=weights, parallel=pool
+                )
         self.n_steps_ += 1
+        return self
+
+    def reinitialize(self, batch, random_state=None) -> "MiniBatchKhatriRaoKMeans":
+        """Re-seed the protocentroids from ``batch`` and restart the
+        learning-rate schedule — the drift-policy refit hook.
+
+        The point-identity bounds cache is cleared (every known point
+        re-scores exactly on its next appearance), while ``n_steps_``,
+        the reassignment-fraction log and ``last_batch_stats_`` keep
+        running: monitors see one continuous stream with a refit event
+        inside it.  ``random_state=None`` reuses the estimator's own
+        seed; pass a seeded generator for deterministic policy behavior.
+        """
+        if self.dtype_ is None:
+            self.dtype_ = resolve_working_dtype(self.dtype, self.aggregator)
+        batch = check_array(batch, dtype=self.dtype_)
+        rng = check_random_state(
+            self.random_state if random_state is None else random_state
+        )
+        self._initialize(batch, rng)
+        self._stream_state = None
         return self
 
     def predict(self, X) -> np.ndarray:
@@ -558,6 +672,158 @@ class MiniBatchKhatriRaoKMeans:
         self.n_steps_ = step
         return state, float(header["smoothed_shift"]), step + 1
 
+    # ------------------------------------------------- stream checkpointing
+    def save_stream(self, path, extra_header: Optional[dict] = None):
+        """Snapshot an online ``partial_fit`` stream atomically to ``path``.
+
+        Captures everything a mid-sequence resume needs for bit-identical
+        continuation: protocentroids, learning-rate masses, the step
+        counter, the reassignment-fraction log, the point-identity bounds
+        cache (trimmed to the ids actually seen, so the serialized state
+        is independent of the growth pattern), and the last
+        :class:`BatchStats` snapshot.  ``extra_header`` lets wrappers
+        (:class:`repro.monitoring.MonitoredStream`) ride their own
+        JSON-able state in the same artifact.  Returns the written path.
+        """
+        if self.protocentroids_ is None:
+            raise NotFittedError(
+                "MiniBatchKhatriRaoKMeans has no stream state to save; "
+                "call fit or partial_fit first"
+            )
+        state = self._stream_state
+        stats = self.last_batch_stats_
+        header = {
+            "estimator": type(self).__name__,
+            "kind": "stream",
+            "params": self._param_header(),
+            "step": self.n_steps_,
+            "has_fractions": self.reassignment_fractions_ is not None,
+            "has_bounds": state is not None,
+            "cum_max": None if state is None else float(state.cum_max),
+            "stats": None if stats is None else stats.to_dict(),
+        }
+        if extra_header:
+            for key in extra_header:
+                if key in header:
+                    raise ValidationError(
+                        f"extra_header key {key!r} collides with the "
+                        "stream checkpoint schema"
+                    )
+            header.update(extra_header)
+        arrays = {}
+        for q, theta in enumerate(self.protocentroids_):
+            arrays[f"theta_{q}"] = theta
+        for q, counts in enumerate(self._counts):
+            arrays[f"counts_{q}"] = counts
+        if self.reassignment_fractions_ is not None:
+            arrays["fractions"] = np.asarray(
+                self.reassignment_fractions_, dtype=np.float64
+            )
+        if state is not None:
+            for name, value in state.state_arrays().items():
+                arrays[f"sb_{name}"] = value
+            for q, cum in enumerate(state.cum):
+                arrays[f"sb_cum_{q}"] = cum
+        if stats is not None:
+            arrays["stats_labels"] = np.asarray(stats.labels, dtype=np.int64)
+            for q, table in enumerate(stats.drift_norms):
+                arrays[f"stats_drift_{q}"] = np.asarray(table)
+        write_checkpoint(path, header, arrays)
+        return Path(path)
+
+    def load_stream(self, path) -> "MiniBatchKhatriRaoKMeans":
+        """Restore a :meth:`save_stream` snapshot into this estimator.
+
+        The estimator must be configured identically to the writer (same
+        ``_param_header`` fingerprint — verified, mismatch is a typed
+        :class:`~repro.exceptions.CheckpointError`); continuing the batch
+        sequence afterwards is bit-identical to the uninterrupted stream,
+        bounds decisions included.  Returns ``self``.
+        """
+        if self.dtype_ is None:
+            self.dtype_ = resolve_working_dtype(self.dtype, self.aggregator)
+        header, arrays = read_checkpoint(path)
+        check_header_fields(
+            header,
+            {
+                "estimator": type(self).__name__,
+                "kind": "stream",
+                "params": self._param_header(),
+            },
+            path=path,
+        )
+        thetas = []
+        counts = []
+        for q in range(len(self.cardinalities)):
+            for prefix, into, dtype in (
+                ("theta_", thetas, self.dtype_), ("counts_", counts, np.float64),
+            ):
+                key = f"{prefix}{q}"
+                if key not in arrays:
+                    raise CheckpointError(
+                        f"{path} is missing state array {key!r}", field=key,
+                    )
+                into.append(np.ascontiguousarray(arrays[key], dtype=dtype))
+        self.protocentroids_ = thetas
+        self._counts = counts
+        self.n_steps_ = int(header["step"])
+        self.reassignment_fractions_ = (
+            [float(f) for f in arrays["fractions"]]
+            if header.get("has_fractions") else None
+        )
+        self._stream_state = None
+        if header.get("has_bounds"):
+            state = StreamingBounds.for_stream(
+                thetas[0].shape[1], self.cardinalities, seed_dtype=self.dtype_
+            )
+            n = arrays["sb_known"].shape[0]
+            state._grow_to(n)
+            state.size = n
+            state.known[:n] = np.ascontiguousarray(
+                arrays["sb_known"], dtype=bool
+            )
+            state.labels[:n] = np.ascontiguousarray(
+                arrays["sb_labels"], dtype=np.int64
+            )
+            for name, attr in (
+                ("upper", "upper"), ("lower", "lower"),
+                ("u_anchor", "u_anchor"), ("m_anchor", "m_anchor"),
+                ("norms", "norms"), ("margin_base", "_margin_base"),
+            ):
+                key = f"sb_{name}"
+                if key not in arrays:
+                    raise CheckpointError(
+                        f"{path} is missing state array {key!r}", field=key,
+                    )
+                getattr(state, attr)[:n] = np.ascontiguousarray(
+                    arrays[key], dtype=np.float64
+                )
+            state.cum = [
+                np.ascontiguousarray(arrays[f"sb_cum_{q}"], dtype=np.float64)
+                for q in range(len(self.cardinalities))
+            ]
+            state.cum_max = float(header["cum_max"])
+            self._stream_state = state
+        self.last_batch_stats_ = None
+        if header.get("stats") is not None:
+            fields = dict(header["stats"])
+            fields.pop("max_drift", None)
+            labels = np.ascontiguousarray(
+                arrays["stats_labels"], dtype=np.int64
+            )
+            labels.setflags(write=False)
+            tables = []
+            for q in range(len(self.cardinalities)):
+                table = np.ascontiguousarray(
+                    arrays[f"stats_drift_{q}"], dtype=np.float64
+                )
+                table.setflags(write=False)
+                tables.append(table)
+            self.last_batch_stats_ = BatchStats(
+                labels=labels, drift_norms=tuple(tables), **fields
+            )
+        return self
+
     def partial_fit_batch(
         self,
         batch: np.ndarray,
@@ -565,18 +831,64 @@ class MiniBatchKhatriRaoKMeans:
         sample_weight: Optional[np.ndarray] = None,
         parallel=None,
     ) -> float:
-        """One mini-batch step; returns the total squared protocentroid shift."""
+        """One fully-re-scored mini-batch step; returns the total squared
+        protocentroid shift.
+
+        Anonymous batches cannot prune, but when a point-identity stream
+        is active its drift tables still advance here — otherwise a mixed
+        indexed/anonymous stream would certify stale bounds.
+        """
         labels, _ = self._assign(batch, parallel=parallel)
-        shift, _ = self._apply_batch_update(
-            batch, labels, sample_weight=sample_weight, parallel=parallel
+        return self._finish_step(
+            batch, labels, 1.0, sample_weight, parallel, self._stream_state
         )
-        return shift
+
+    @staticmethod
+    def _check_stream_index(index, n_rows: int) -> Optional[np.ndarray]:
+        """Validate a point-identity ``index`` array (or pass ``None``)."""
+        if index is None:
+            return None
+        index = np.asarray(index)
+        if index.ndim != 1 or index.shape[0] != n_rows:
+            raise ValidationError(
+                f"index must be a 1-D array with one id per batch row "
+                f"({n_rows}), got shape {index.shape}"
+            )
+        if index.dtype.kind not in "iu":
+            raise ValidationError(
+                f"index must be an integer array, got dtype {index.dtype}"
+            )
+        index = index.astype(np.int64, copy=False)
+        if index.size and int(index.min()) < 0:
+            raise ValidationError("index ids must be non-negative")
+        if np.unique(index).size != index.size:
+            raise ValidationError("index ids must not repeat within a batch")
+        return index
+
+    def _indexed_partial_fit_batch(
+        self, batch, index, sample_weight, parallel
+    ) -> float:
+        """One point-identity stream step: bounds-pruned labels, then the
+        shared step tail.  Bit-identical to :meth:`partial_fit_batch` on
+        the same batch sequence."""
+        state = self._stream_state
+        if state is None:
+            state = self._stream_state = StreamingBounds.for_stream(
+                batch.shape[1], self.cardinalities, seed_dtype=batch.dtype
+            )
+        state.observe(index, row_norms_squared(batch, parallel=parallel))
+        labels, fraction = self._pruned_batch_labels(
+            batch, index, state, parallel
+        )
+        return self._finish_step(
+            batch, labels, fraction, sample_weight, parallel, state
+        )
 
     def _pruned_batch_labels(
         self, batch: np.ndarray, indices: np.ndarray, state: StreamingBounds,
         parallel=None,
-    ) -> np.ndarray:
-        """Batch labels with cross-step pruning.
+    ) -> Tuple[np.ndarray, float]:
+        """Batch labels with cross-step pruning, plus the re-score fraction.
 
         Sampled points whose telescoped bounds certify the cached label keep
         it; never-seen or stale points run the exact factored top-2 argmin
@@ -594,10 +906,86 @@ class MiniBatchKhatriRaoKMeans:
             )
             labels[stale] = new_labels
             state.record(sub, new_labels, d1, d2)
-        self.reassignment_fractions_.append(
-            float(np.count_nonzero(stale)) / indices.size
+        return labels, float(np.count_nonzero(stale)) / indices.size
+
+    def _batch_inertia(
+        self, batch: np.ndarray, labels: np.ndarray, sample_weight
+    ) -> float:
+        """Weighted batch inertia at fixed ``labels`` against the current
+        (pre-update) protocentroids.
+
+        Computed in direct form (``‖x − c‖²`` row by row, float64) rather
+        than through the assignment kernels' expansion form, so the value
+        is a pure function of ``(batch, labels, model state)`` — pruned
+        and unpruned streams with identical labels publish identical
+        inertia by construction.
+        """
+        set_indices = np.unravel_index(labels, self.cardinalities)
+        rows = self.aggregator.combine([
+            theta[idx]
+            for theta, idx in zip(self.protocentroids_, set_indices)
+        ])
+        diff = batch.astype(np.float64, copy=False) - rows.astype(
+            np.float64, copy=False
         )
-        return labels
+        squared = np.einsum("ij,ij->i", diff, diff)
+        if sample_weight is None:
+            return float(squared.sum(dtype=np.float64))
+        weights = np.asarray(sample_weight, dtype=np.float64)
+        return float((squared * weights).sum(dtype=np.float64))
+
+    def _note_fraction(self, fraction: float) -> None:
+        """The single ``reassignment_fractions_`` bookkeeping path: one
+        entry per completed step when pruning is enabled, ``None``
+        untouched when it is not."""
+        if not self.uses_pruning:
+            return
+        if self.reassignment_fractions_ is None:
+            self.reassignment_fractions_ = []
+        self.reassignment_fractions_.append(float(fraction))
+
+    def _finish_step(
+        self,
+        batch: np.ndarray,
+        labels: np.ndarray,
+        fraction: float,
+        sample_weight: Optional[np.ndarray],
+        parallel,
+        state: Optional[StreamingBounds] = None,
+    ) -> float:
+        """Shared tail of every mini-batch step, pruned or not: batch
+        inertia against the pre-update protocentroids, the protocentroid
+        update, drift accumulation into the active bounds, and the single
+        bookkeeping path for ``reassignment_fractions_`` and
+        ``last_batch_stats_``.  Returns the total squared shift."""
+        inertia = self._batch_inertia(batch, labels, sample_weight)
+        shift, drift_tables = self._apply_batch_update(
+            batch, labels, collect_drift=True,
+            sample_weight=sample_weight, parallel=parallel,
+        )
+        if state is not None:
+            state.advance(drift_tables)
+        self._note_fraction(fraction)
+        mass = (
+            float(batch.shape[0]) if sample_weight is None
+            else float(np.sum(sample_weight, dtype=np.float64))
+        )
+        labels = labels.copy()
+        labels.setflags(write=False)
+        for table in drift_tables:
+            table.setflags(write=False)
+        self.last_batch_stats_ = BatchStats(
+            step=self.n_steps_ + 1,
+            batch_size=int(batch.shape[0]),
+            mass=mass,
+            inertia=inertia,
+            mean_inertia=inertia / mass if mass > 0 else 0.0,
+            shift=shift,
+            reassignment_fraction=float(fraction),
+            labels=labels,
+            drift_norms=tuple(drift_tables),
+        )
+        return shift
 
     def _apply_batch_update(
         self,

@@ -94,6 +94,27 @@ class QuorumError(ReproError, RuntimeError):
         self.required = int(required)
 
 
+class MonitoringError(ReproError):
+    """Base class for errors raised by the :mod:`repro.monitoring` subsystem."""
+
+
+class GoldenMismatchError(MonitoringError):
+    """A golden drift scenario replayed with a behavioral delta.
+
+    Raised by the golden-dataset regression harness
+    (:mod:`repro.monitoring.evaluation`) when replaying a committed
+    scenario produces an alert/action timeline, reassignment-fraction log
+    or final model state that differs from the pinned expectation —
+    monitoring behavior changed, which is exactly what the harness exists
+    to catch.  :attr:`mismatches` carries one human-readable line per
+    divergence (first divergence per scenario section).
+    """
+
+    def __init__(self, message: str, *, mismatches=()):
+        super().__init__(message)
+        self.mismatches = tuple(mismatches)
+
+
 class ConvergenceWarning(UserWarning):
     """An iterative procedure stopped before reaching its tolerance."""
 

@@ -1,0 +1,61 @@
+"""Streaming drift monitoring for online Khatri-Rao clustering.
+
+The subsystem closes the loop around :meth:`MiniBatchKhatriRaoKMeans.partial_fit
+<repro.core.minibatch.MiniBatchKhatriRaoKMeans.partial_fit>`:
+
+* :class:`DriftEngine` (:mod:`~repro.monitoring.engine`) watches the
+  per-batch :class:`~repro.core.minibatch.BatchStats` snapshots against
+  exponentially-weighted baselines and emits typed
+  :class:`DriftAlert` records;
+* the policies (:mod:`~repro.monitoring.policies`) decide what to do
+  about them — record only, refine on the triggering batch, or refit
+  with a seeded rng — all deterministically;
+* :class:`MonitoredStream` (:mod:`~repro.monitoring.pipeline`) wires
+  model, engine and policy into one checkpointable pipeline with an
+  ordered alert/action timeline;
+* the golden harness (:mod:`~repro.monitoring.evaluation`) replays
+  committed scenarios and fails on *any* behavioral delta — the
+  regression net CI runs via ``repro.cli monitor``.
+
+See ``docs/monitoring.md`` for the walkthrough.
+"""
+
+from .alerts import (
+    ALERT_KINDS,
+    SEVERITIES,
+    DriftAlert,
+    PolicyAction,
+    severity_at_least,
+)
+from .engine import DriftEngine
+from .evaluation import load_scenario, record_scenario, run_scenario, run_suite
+from .pipeline import MonitoredStream, StreamReport
+from .policies import (
+    POLICY_NAMES,
+    AlertOnlyPolicy,
+    DriftPolicy,
+    TriggerRefinePolicy,
+    TriggerRefitPolicy,
+    resolve_policy,
+)
+
+__all__ = [
+    "ALERT_KINDS",
+    "POLICY_NAMES",
+    "SEVERITIES",
+    "AlertOnlyPolicy",
+    "DriftAlert",
+    "DriftEngine",
+    "DriftPolicy",
+    "MonitoredStream",
+    "PolicyAction",
+    "StreamReport",
+    "TriggerRefinePolicy",
+    "TriggerRefitPolicy",
+    "load_scenario",
+    "record_scenario",
+    "resolve_policy",
+    "run_scenario",
+    "run_suite",
+    "severity_at_least",
+]

@@ -1,0 +1,104 @@
+"""Typed alert and action records for the streaming drift monitor.
+
+Everything the monitoring layer emits is a frozen dataclass with a
+lossless ``to_dict``/``from_dict`` round trip: the golden-dataset
+regression harness (:mod:`repro.monitoring.evaluation`) pins timelines of
+these records in committed scenario files and fails on any delta, so the
+records must serialize deterministically and compare field by field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ValidationError
+
+__all__ = [
+    "ALERT_KINDS",
+    "SEVERITIES",
+    "DriftAlert",
+    "PolicyAction",
+    "severity_at_least",
+]
+
+#: the drift statistics the engine watches, in emission order per step
+ALERT_KINDS = (
+    "inertia_regression",
+    "reassignment_surge",
+    "protocentroid_drift",
+)
+
+#: escalation ladder, least to most severe
+SEVERITIES = ("info", "warning", "critical")
+
+
+def severity_at_least(severity: str, floor: str) -> bool:
+    """True when ``severity`` ranks at or above ``floor`` on the ladder."""
+    for name in (severity, floor):
+        if name not in SEVERITIES:
+            raise ValidationError(
+                f"severity must be one of {SEVERITIES}, got {name!r}"
+            )
+    return SEVERITIES.index(severity) >= SEVERITIES.index(floor)
+
+
+@dataclass(frozen=True)
+class DriftAlert:
+    """One threshold crossing observed by the :class:`~repro.monitoring.DriftEngine`.
+
+    ``value`` is the offending statistic, ``baseline`` the engine's
+    exponentially-weighted reference at decision time, and ``threshold``
+    the *effective* trigger level the value exceeded — so an alert record
+    alone explains why it fired.
+    """
+
+    kind: str
+    severity: str
+    step: int
+    value: float
+    baseline: float
+    threshold: float
+    message: str
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "severity": self.severity,
+            "step": self.step,
+            "value": self.value,
+            "baseline": self.baseline,
+            "threshold": self.threshold,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, fields: dict) -> "DriftAlert":
+        return cls(
+            kind=str(fields["kind"]),
+            severity=str(fields["severity"]),
+            step=int(fields["step"]),
+            value=float(fields["value"]),
+            baseline=float(fields["baseline"]),
+            threshold=float(fields["threshold"]),
+            message=str(fields["message"]),
+        )
+
+
+@dataclass(frozen=True)
+class PolicyAction:
+    """One intervention a drift policy took on the monitored model."""
+
+    kind: str  # "refine" | "refit"
+    step: int
+    reason: str
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "step": self.step, "reason": self.reason}
+
+    @classmethod
+    def from_dict(cls, fields: dict) -> "PolicyAction":
+        return cls(
+            kind=str(fields["kind"]),
+            step=int(fields["step"]),
+            reason=str(fields["reason"]),
+        )

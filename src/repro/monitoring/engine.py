@@ -1,0 +1,259 @@
+"""The drift-detection engine: typed alerts over per-batch statistics.
+
+:class:`DriftEngine` consumes the read-only
+:class:`~repro.core.minibatch.BatchStats` snapshots a streaming estimator
+publishes after every ``partial_fit`` step and watches three signals:
+
+* **inertia trajectory** — the scale-free per-point batch inertia
+  (``mean_inertia``) against an exponentially-weighted baseline; a
+  sustained distribution shift inflates it long before accuracy metrics
+  exist;
+* **reassignment fraction** — the share of the batch the bounds-pruned
+  assignment had to re-score exactly (PR 3's per-step signal): on a
+  stationary identified stream it decays with the learning rate, so a
+  surge back toward 1.0 means points stopped looking like their cached
+  labels;
+* **protocentroid drift norms** — the per-set ``‖Δθ_q[j]‖`` tables from
+  the factored-drift machinery, summarized as ``max_drift``; a spike
+  against its decaying baseline means the batch-optimal targets jumped.
+
+Decision rule, per signal: *alert when the value exceeds its reference by
+more than the tolerance* — ``value > baseline·(1 + tol) + atol`` for the
+baselined signals, ``value > threshold`` for the absolute reassignment
+fraction — escalating from ``warning`` to ``critical`` at
+``critical_factor`` times the tolerance.  Baselines fold the observed
+value in *after* the comparison, so the decision at step ``t`` never
+depends on the value it judges, and raising any tolerance can only
+shrink the set of (step, kind) alerts — the monotonicity the property
+suite certifies.
+
+The engine is pure bookkeeping: deterministic, no randomness, no model
+access.  Interventions live in :mod:`repro.monitoring.policies`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..exceptions import MonitoringError, ValidationError
+from .alerts import DriftAlert
+
+__all__ = ["DriftEngine"]
+
+
+class DriftEngine:
+    """Streaming drift detector over :class:`~repro.core.minibatch.BatchStats`.
+
+    Parameters
+    ----------
+    warmup_steps : int
+        Observations that only feed the baselines before any alert may
+        fire (the first batches of a fresh model are legitimately
+        chaotic).  Also re-applied after :meth:`reset` — a refit re-warms.
+    ewma_alpha : float
+        Weight of the newest observation in the exponentially-weighted
+        baselines, in ``(0, 1]``; smaller is smoother.
+    inertia_tolerance : float
+        Relative excess of ``mean_inertia`` over its baseline that fires
+        ``inertia_regression`` (0.25 = alert at +25%).
+    drift_tolerance : float
+        Relative excess of ``max_drift`` over its baseline that fires
+        ``protocentroid_drift``.
+    reassignment_threshold : float
+        Absolute ``reassignment_fraction`` above which
+        ``reassignment_surge`` fires (the fraction is already
+        scale-free, so no baseline is needed).
+    critical_factor : float
+        Severity escalation: a value beyond ``critical_factor`` times the
+        tolerance (or threshold) is ``critical`` instead of ``warning``.
+        Must be >= 1.
+    atol : float
+        Absolute slack added to every trigger level so zero-baselines
+        (e.g. a stream of exact-centroid batches) do not alert on noise.
+
+    Attributes
+    ----------
+    alerts : list of DriftAlert
+        Full emission history, in order.
+    n_observed : int
+        Snapshots consumed since construction or the last :meth:`reset`.
+    """
+
+    def __init__(
+        self,
+        *,
+        warmup_steps: int = 5,
+        ewma_alpha: float = 0.3,
+        inertia_tolerance: float = 0.25,
+        drift_tolerance: float = 1.0,
+        reassignment_threshold: float = 0.5,
+        critical_factor: float = 2.0,
+        atol: float = 1e-12,
+    ) -> None:
+        if warmup_steps < 0:
+            raise ValidationError(
+                f"warmup_steps must be >= 0, got {warmup_steps}"
+            )
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValidationError(
+                f"ewma_alpha must be in (0, 1], got {ewma_alpha}"
+            )
+        for name, value in (
+            ("inertia_tolerance", inertia_tolerance),
+            ("drift_tolerance", drift_tolerance),
+            ("atol", atol),
+        ):
+            if value < 0:
+                raise ValidationError(f"{name} must be >= 0, got {value}")
+        if reassignment_threshold <= 0:
+            raise ValidationError(
+                f"reassignment_threshold must be > 0, got "
+                f"{reassignment_threshold}"
+            )
+        if critical_factor < 1.0:
+            raise ValidationError(
+                f"critical_factor must be >= 1, got {critical_factor}"
+            )
+        self.warmup_steps = int(warmup_steps)
+        self.ewma_alpha = float(ewma_alpha)
+        self.inertia_tolerance = float(inertia_tolerance)
+        self.drift_tolerance = float(drift_tolerance)
+        self.reassignment_threshold = float(reassignment_threshold)
+        self.critical_factor = float(critical_factor)
+        self.atol = float(atol)
+        self.alerts: List[DriftAlert] = []
+        self.n_observed = 0
+        self._inertia_baseline: Optional[float] = None
+        self._drift_baseline: Optional[float] = None
+
+    # ------------------------------------------------------------- observe
+    def observe(self, stats) -> List[DriftAlert]:
+        """Consume one :class:`BatchStats` snapshot; return this step's alerts.
+
+        Alerts are emitted in the fixed :data:`~repro.monitoring.alerts.ALERT_KINDS`
+        order and appended to :attr:`alerts`.
+        """
+        step = int(stats.step)
+        mean_inertia = float(stats.mean_inertia)
+        max_drift = float(stats.max_drift)
+        fraction = float(stats.reassignment_fraction)
+        alerts: List[DriftAlert] = []
+        if self.n_observed >= self.warmup_steps:
+            alert = self._baselined_alert(
+                "inertia_regression", step, mean_inertia,
+                self._inertia_baseline, self.inertia_tolerance,
+                "per-point batch inertia",
+            )
+            if alert is not None:
+                alerts.append(alert)
+            alert = self._absolute_alert(
+                "reassignment_surge", step, fraction,
+                self.reassignment_threshold,
+            )
+            if alert is not None:
+                alerts.append(alert)
+            alert = self._baselined_alert(
+                "protocentroid_drift", step, max_drift,
+                self._drift_baseline, self.drift_tolerance,
+                "max centroid drift",
+            )
+            if alert is not None:
+                alerts.append(alert)
+        # Fold after judging: the decision at step t never depends on the
+        # value it judges, which is what makes thresholds monotone.
+        self._inertia_baseline = self._fold(
+            self._inertia_baseline, mean_inertia
+        )
+        self._drift_baseline = self._fold(self._drift_baseline, max_drift)
+        self.n_observed += 1
+        self.alerts.extend(alerts)
+        return alerts
+
+    def _fold(self, baseline: Optional[float], value: float) -> float:
+        if baseline is None:
+            return value
+        return (1.0 - self.ewma_alpha) * baseline + self.ewma_alpha * value
+
+    def _baselined_alert(
+        self, kind, step, value, baseline, tolerance, label
+    ) -> Optional[DriftAlert]:
+        if baseline is None:
+            return None
+        threshold = baseline * (1.0 + tolerance) + self.atol
+        if not value > threshold:
+            return None
+        critical = baseline * (
+            1.0 + self.critical_factor * tolerance
+        ) + self.atol
+        severity = "critical" if value > critical else "warning"
+        return DriftAlert(
+            kind=kind, severity=severity, step=step, value=value,
+            baseline=baseline, threshold=threshold,
+            message=(
+                f"{label} {value:.6g} exceeded its EW baseline "
+                f"{baseline:.6g} by more than {tolerance:.0%}"
+            ),
+        )
+
+    def _absolute_alert(self, kind, step, value, threshold) -> Optional[DriftAlert]:
+        effective = threshold + self.atol
+        if not value > effective:
+            return None
+        critical = self.critical_factor * threshold + self.atol
+        severity = "critical" if value > critical else "warning"
+        return DriftAlert(
+            kind=kind, severity=severity, step=step, value=value,
+            baseline=threshold, threshold=effective,
+            message=(
+                f"reassignment fraction {value:.6g} exceeded the "
+                f"{threshold:.6g} surge threshold"
+            ),
+        )
+
+    # ------------------------------------------------------------ lifecycle
+    def reset(self) -> None:
+        """Forget the baselines and re-enter warmup (after a policy refit:
+        the model the baselines described no longer exists).  The alert
+        history is kept — it narrates one continuous stream."""
+        self.n_observed = 0
+        self._inertia_baseline = None
+        self._drift_baseline = None
+
+    def config(self) -> dict:
+        """The constructor parameters, JSON-able."""
+        return {
+            "warmup_steps": self.warmup_steps,
+            "ewma_alpha": self.ewma_alpha,
+            "inertia_tolerance": self.inertia_tolerance,
+            "drift_tolerance": self.drift_tolerance,
+            "reassignment_threshold": self.reassignment_threshold,
+            "critical_factor": self.critical_factor,
+            "atol": self.atol,
+        }
+
+    def state_dict(self) -> dict:
+        """Serializable mutable state for stream checkpoints (JSON-able)."""
+        return {
+            "config": self.config(),
+            "n_observed": self.n_observed,
+            "inertia_baseline": self._inertia_baseline,
+            "drift_baseline": self._drift_baseline,
+            "alerts": [alert.to_dict() for alert in self.alerts],
+        }
+
+    def restore(self, state: dict) -> "DriftEngine":
+        """Load a :meth:`state_dict`; the restoring engine must be
+        configured identically (verified — a monitor resumed under
+        different thresholds would not reproduce the stream)."""
+        if state.get("config") != self.config():
+            raise MonitoringError(
+                "engine state was written under a different configuration: "
+                f"{state.get('config')!r} != {self.config()!r}"
+            )
+        self.n_observed = int(state["n_observed"])
+        self._inertia_baseline = state["inertia_baseline"]
+        self._drift_baseline = state["drift_baseline"]
+        self.alerts = [
+            DriftAlert.from_dict(fields) for fields in state["alerts"]
+        ]
+        return self

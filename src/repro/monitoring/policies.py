@@ -1,0 +1,222 @@
+"""Drift policies: what a monitored stream *does* about alerts.
+
+A policy inspects each step's alerts and, with deterministic seeded
+behavior, optionally intervenes on the model:
+
+* :class:`AlertOnlyPolicy` (``"alert_only"``) — record and never touch
+  the model; the default, and the only policy golden scenarios need to
+  characterize the engine in isolation;
+* :class:`TriggerRefinePolicy` (``"trigger_refine"``) — push the model
+  toward the new distribution by replaying the triggering batch through
+  extra ``partial_fit`` steps (anonymous, so they fully re-score and
+  advance the identity stream's drift tables);
+* :class:`TriggerRefitPolicy` (``"trigger_refit"``) — give up on the
+  current summary: re-seed the protocentroids from the triggering batch
+  via :meth:`~repro.core.minibatch.MiniBatchKhatriRaoKMeans.reinitialize`
+  with an rng derived from ``(seed, step)``, so the refit is a pure
+  function of the stream.  The pipeline resets the engine's baselines
+  after a refit.
+
+Triggering is uniform across policies: any alert at or above
+``min_severity``, outside the ``cooldown`` window since the last
+intervention.  All policies expose ``state_dict``/``restore`` so a
+checkpointed stream resumes with its cooldown intact.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..exceptions import MonitoringError, ValidationError
+from .alerts import DriftAlert, PolicyAction, severity_at_least
+
+__all__ = [
+    "POLICY_NAMES",
+    "AlertOnlyPolicy",
+    "DriftPolicy",
+    "TriggerRefinePolicy",
+    "TriggerRefitPolicy",
+    "resolve_policy",
+]
+
+
+class DriftPolicy:
+    """Base class: trigger bookkeeping shared by every policy.
+
+    Subclasses implement :meth:`_act`; ``consider`` decides *whether* to
+    act (severity floor + cooldown) and records the trigger step.
+    """
+
+    name = "base"
+
+    def __init__(self, *, min_severity: str = "critical", cooldown: int = 10):
+        severity_at_least(min_severity, "info")  # validates the name
+        if cooldown < 0:
+            raise ValidationError(f"cooldown must be >= 0, got {cooldown}")
+        self.min_severity = min_severity
+        self.cooldown = int(cooldown)
+        self.last_trigger_step: Optional[int] = None
+
+    def consider(
+        self, model, batch, sample_weight, stats, alerts: List[DriftAlert]
+    ) -> Optional[PolicyAction]:
+        """Apply the policy for one step; returns the action taken, if any."""
+        triggers = [
+            alert for alert in alerts
+            if severity_at_least(alert.severity, self.min_severity)
+        ]
+        if not triggers:
+            return None
+        if (
+            self.last_trigger_step is not None
+            and stats.step - self.last_trigger_step < self.cooldown
+        ):
+            return None
+        action = self._act(model, batch, sample_weight, stats, triggers)
+        if action is not None:
+            self.last_trigger_step = int(stats.step)
+        return action
+
+    def _act(self, model, batch, sample_weight, stats, triggers):
+        return None
+
+    # ----------------------------------------------------------- lifecycle
+    def config(self) -> dict:
+        """Constructor parameters plus the registry name, JSON-able."""
+        return {
+            "name": self.name,
+            "min_severity": self.min_severity,
+            "cooldown": self.cooldown,
+        }
+
+    def state_dict(self) -> dict:
+        return {
+            "config": self.config(),
+            "last_trigger_step": self.last_trigger_step,
+        }
+
+    def restore(self, state: dict) -> "DriftPolicy":
+        if state.get("config") != self.config():
+            raise MonitoringError(
+                "policy state was written under a different configuration: "
+                f"{state.get('config')!r} != {self.config()!r}"
+            )
+        step = state["last_trigger_step"]
+        self.last_trigger_step = None if step is None else int(step)
+        return self
+
+
+class AlertOnlyPolicy(DriftPolicy):
+    """Record alerts; never touch the model."""
+
+    name = "alert_only"
+
+    def consider(self, model, batch, sample_weight, stats, alerts):
+        return None
+
+
+class TriggerRefinePolicy(DriftPolicy):
+    """Replay the triggering batch through extra ``partial_fit`` steps.
+
+    The extra steps run anonymously (full re-score) with the step's own
+    sample weights, so they are deterministic, respect the weighted
+    schedule, and keep any point-identity bounds valid by advancing the
+    drift tables like every other update.
+    """
+
+    name = "trigger_refine"
+
+    def __init__(self, *, min_severity="critical", cooldown=10,
+                 refine_steps: int = 2):
+        super().__init__(min_severity=min_severity, cooldown=cooldown)
+        if refine_steps < 1:
+            raise ValidationError(
+                f"refine_steps must be >= 1, got {refine_steps}"
+            )
+        self.refine_steps = int(refine_steps)
+
+    def config(self) -> dict:
+        config = super().config()
+        config["refine_steps"] = self.refine_steps
+        return config
+
+    def _act(self, model, batch, sample_weight, stats, triggers):
+        for _ in range(self.refine_steps):
+            model.partial_fit(batch, sample_weight=sample_weight)
+        return PolicyAction(
+            kind="refine", step=int(stats.step),
+            reason=_trigger_reason(triggers, self.refine_steps, "refine"),
+        )
+
+
+class TriggerRefitPolicy(DriftPolicy):
+    """Re-seed the model from the triggering batch (seeded, deterministic).
+
+    The refit rng is ``default_rng([seed, step])``: a pure function of
+    the policy seed and the stream position, so replays are bit-identical
+    and two refits in one stream use distinct, reproducible draws.
+    """
+
+    name = "trigger_refit"
+
+    def __init__(self, *, min_severity="critical", cooldown=10,
+                 seed: int = 0):
+        super().__init__(min_severity=min_severity, cooldown=cooldown)
+        self.seed = int(seed)
+
+    def config(self) -> dict:
+        config = super().config()
+        config["seed"] = self.seed
+        return config
+
+    def _act(self, model, batch, sample_weight, stats, triggers):
+        rng = np.random.default_rng([self.seed, int(stats.step)])
+        model.reinitialize(batch, random_state=rng)
+        return PolicyAction(
+            kind="refit", step=int(stats.step),
+            reason=_trigger_reason(triggers, 1, "refit"),
+        )
+
+
+def _trigger_reason(triggers: List[DriftAlert], count: int, verb: str) -> str:
+    kinds = ",".join(alert.kind for alert in triggers)
+    return f"{verb} x{count} on {len(triggers)} alert(s): {kinds}"
+
+
+_POLICIES = {
+    policy.name: policy
+    for policy in (AlertOnlyPolicy, TriggerRefinePolicy, TriggerRefitPolicy)
+}
+
+#: valid policy names, in registry order
+POLICY_NAMES = tuple(_POLICIES)
+
+
+def resolve_policy(policy, **params) -> DriftPolicy:
+    """Turn a policy spec into an instance.
+
+    Accepts a :class:`DriftPolicy` instance (passed through; ``params``
+    must then be empty), a registry name with keyword parameters, or a
+    config dict as produced by :meth:`DriftPolicy.config`.
+    """
+    if isinstance(policy, DriftPolicy):
+        if params:
+            raise ValidationError(
+                "cannot pass parameters alongside a policy instance"
+            )
+        return policy
+    if isinstance(policy, dict):
+        if params:
+            raise ValidationError(
+                "cannot pass parameters alongside a policy config dict"
+            )
+        params = {k: v for k, v in policy.items() if k != "name"}
+        policy = policy.get("name")
+    if policy not in _POLICIES:
+        raise ValidationError(
+            f"policy must be one of {POLICY_NAMES} (or a DriftPolicy), "
+            f"got {policy!r}"
+        )
+    return _POLICIES[policy](**params)

@@ -1,0 +1,112 @@
+"""(Re)generate the committed golden drift scenarios.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/goldens/make_goldens.py
+
+Every scenario is a deterministic function of hard-coded seeds, so
+regeneration on an unchanged codebase reproduces the committed archives'
+behavior exactly (the harness replays through the same code path the
+recorder used).  Regenerating after an intentional behavior change is
+how the pinned expectations are moved — the diff of this script plus the
+refreshed ``.npz`` files *is* the review surface for that change.
+
+Scenarios
+---------
+``stationary_f64_indexed_alert_only``
+    A stationary identified float64 stream over a fixed 400-point pool:
+    reassignment fractions decay as bounds settle, and after warmup the
+    engine should stay (nearly) quiet — the negative control.
+``meanshift_f64_indexed_refine``
+    The same pool with a +5 mean shift injected from batch 10: inertia
+    and reassignment alerts escalate to critical and the refine policy
+    replays the triggering batch.
+``meanshift_f32_anonymous_refit``
+    A float32 *anonymous* stream (no point identities, fractions pinned
+    at 1.0) with a late mean shift driving the seeded refit policy.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets import make_blobs
+from repro.monitoring import record_scenario
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+
+def _stream(*, pool_seed, order_seed, n_pool=400, n_batches=16,
+            batch_size=80, shift=0.0, shift_from=10, dtype=np.float64):
+    """Deterministic batch stream over a fixed pool; returns (X, offsets, index)."""
+    pool, _ = make_blobs(n_pool, n_clusters=9, random_state=pool_seed)
+    pool = pool.astype(dtype)
+    rng = np.random.default_rng(order_seed)
+    rows, ids = [], []
+    for t in range(n_batches):
+        idx = rng.choice(n_pool, size=batch_size, replace=False)
+        batch = pool[idx].copy()
+        if shift and t >= shift_from:
+            batch += dtype(shift)
+        rows.append(batch)
+        ids.append(idx.astype(np.int64))
+    offsets = np.arange(0, n_batches * batch_size + 1, batch_size,
+                        dtype=np.int64)
+    return np.vstack(rows), offsets, np.concatenate(ids)
+
+
+def build_all(out_dir=GOLDEN_DIR):
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+
+    X, offsets, index = _stream(pool_seed=3, order_seed=5)
+    written.append(record_scenario(
+        out_dir / "stationary_f64_indexed_alert_only.npz",
+        name="stationary_f64_indexed_alert_only",
+        description="stationary identified f64 stream; bounds settle, "
+                    "engine stays quiet after warmup (negative control)",
+        model_config={"cardinalities": [3, 3], "random_state": 0},
+        engine_config={"warmup_steps": 4, "reassignment_threshold": 0.75},
+        policy_config={"name": "alert_only"},
+        X=X, offsets=offsets, index=index,
+    ))
+
+    X, offsets, index = _stream(pool_seed=3, order_seed=5, shift=5.0)
+    written.append(record_scenario(
+        out_dir / "meanshift_f64_indexed_refine.npz",
+        name="meanshift_f64_indexed_refine",
+        description="+5 mean shift from batch 10 on an identified f64 "
+                    "stream; critical alerts drive the refine policy",
+        model_config={"cardinalities": [3, 3], "random_state": 0},
+        engine_config={"warmup_steps": 4, "reassignment_threshold": 0.75,
+                       "critical_factor": 1.5},
+        policy_config={"name": "trigger_refine", "min_severity": "critical",
+                       "cooldown": 4, "refine_steps": 2},
+        X=X, offsets=offsets, index=index,
+    ))
+
+    X, offsets, _ = _stream(pool_seed=11, order_seed=13, shift=6.0,
+                            shift_from=9, dtype=np.float32)
+    written.append(record_scenario(
+        out_dir / "meanshift_f32_anonymous_refit.npz",
+        name="meanshift_f32_anonymous_refit",
+        description="anonymous float32 stream with a +6 mean shift from "
+                    "batch 9; the seeded refit policy re-seeds the model",
+        model_config={"cardinalities": [3, 3], "dtype": "float32",
+                      "random_state": 1},
+        engine_config={"warmup_steps": 3, "critical_factor": 1.5},
+        policy_config={"name": "trigger_refit", "min_severity": "critical",
+                       "cooldown": 5, "seed": 7},
+        X=X, offsets=offsets,
+    ))
+    return written
+
+
+if __name__ == "__main__":
+    for path in build_all():
+        print(f"wrote {path}")
+    sys.exit(0)

@@ -307,11 +307,19 @@ class TestMiniBatchEquivalence:
         assert model.reassignment_fractions_ is None
 
     def test_partial_fit_stays_unpruned(self):
+        # Anonymous batches cannot prune; on a pruning-capable estimator
+        # each fully-re-scored step is logged as fraction 1.0 (one entry
+        # per completed step — the normalized contract), while an
+        # estimator with pruning disabled keeps the log at None.
         X, _ = _problem(9, n=80)
         model = MiniBatchKhatriRaoKMeans((2, 2), random_state=0)
         model.partial_fit(X[:40]).partial_fit(X[40:])
         assert model.n_steps_ == 2
-        assert model.reassignment_fractions_ is None
+        assert model.reassignment_fractions_ == [1.0, 1.0]
+        unpruned = MiniBatchKhatriRaoKMeans((2, 2), pruning="none",
+                                            random_state=0)
+        unpruned.partial_fit(X[:40]).partial_fit(X[40:])
+        assert unpruned.reassignment_fractions_ is None
 
 
 class TestBoundStates:

@@ -1,0 +1,187 @@
+"""The golden-dataset regression harness and its committed scenarios."""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.exceptions import GoldenMismatchError, ValidationError
+from repro.monitoring import (
+    load_scenario,
+    record_scenario,
+    run_scenario,
+    run_suite,
+)
+from repro.runtime.checkpoint import read_checkpoint, write_checkpoint
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "goldens"
+
+
+def small_scenario(path, **overrides):
+    """Record a tiny deterministic scenario for tamper tests."""
+    rng = np.random.default_rng(2)
+    pool = rng.normal(size=(60, 2))
+    idx = [rng.choice(60, size=20, replace=False) for _ in range(6)]
+    kwargs = dict(
+        name="tiny",
+        description="tamper fixture",
+        model_config={"cardinalities": [2, 2], "random_state": 0},
+        engine_config={"warmup_steps": 2},
+        policy_config={"name": "alert_only"},
+        X=np.vstack([pool[i] for i in idx]),
+        offsets=np.arange(0, 121, 20),
+        index=np.concatenate(idx).astype(np.int64),
+    )
+    kwargs.update(overrides)
+    return record_scenario(path, **kwargs)
+
+
+class TestCommittedGoldens:
+    def test_suite_replays_exactly(self, tmp_path):
+        report = run_suite(GOLDEN_DIR, report_path=tmp_path / "report.json")
+        assert report["status"] == "pass"
+        assert report["n_scenarios"] == 3
+        written = json.loads((tmp_path / "report.json").read_text())
+        assert written["status"] == "pass"
+        assert {s["scenario"] for s in written["scenarios"]} == {
+            "stationary_f64_indexed_alert_only",
+            "meanshift_f64_indexed_refine",
+            "meanshift_f32_anonymous_refit",
+        }
+
+    def test_stationary_control_is_quiet(self):
+        scenario = load_scenario(
+            GOLDEN_DIR / "stationary_f64_indexed_alert_only.npz"
+        )
+        assert scenario.expected["timeline"] == []
+        # ... while the bounds actually engaged: fractions decay.
+        assert min(scenario.expected["fractions"]) < 1.0
+
+    def test_shift_scenarios_pin_interventions(self):
+        refine = load_scenario(GOLDEN_DIR / "meanshift_f64_indexed_refine.npz")
+        actions = [entry for entry in refine.expected["timeline"]
+                   if entry["event"] == "action"]
+        assert actions and all(a["kind"] == "refine" for a in actions)
+        refit = load_scenario(GOLDEN_DIR / "meanshift_f32_anonymous_refit.npz")
+        actions = [entry for entry in refit.expected["timeline"]
+                   if entry["event"] == "action"]
+        assert actions and all(a["kind"] == "refit" for a in actions)
+        # Anonymous stream on a pruning-capable estimator: every step is
+        # fully re-scored and logged as 1.0 (the normalized contract).
+        assert all(f == 1.0 for f in refit.expected["fractions"])
+        assert refit.expected_thetas[0].dtype == np.float32
+
+    def test_generator_is_reproducible(self, tmp_path):
+        # Regenerating into a scratch directory reproduces the committed
+        # expectations byte for byte (modulo the archive container).
+        import sys
+        sys.path.insert(0, str(GOLDEN_DIR))
+        try:
+            import make_goldens
+            regenerated = make_goldens.build_all(tmp_path)
+        finally:
+            sys.path.remove(str(GOLDEN_DIR))
+        for path in regenerated:
+            fresh = load_scenario(path)
+            committed = load_scenario(GOLDEN_DIR / path.name)
+            assert fresh.expected == committed.expected
+            for theta_a, theta_b in zip(
+                fresh.expected_thetas, committed.expected_thetas
+            ):
+                assert theta_a.tobytes() == theta_b.tobytes()
+
+
+class TestHarness:
+    def test_record_then_run_passes(self, tmp_path):
+        path = small_scenario(tmp_path / "tiny.npz")
+        entry = run_scenario(path)
+        assert entry["status"] == "pass"
+        assert entry["mismatches"] == []
+
+    def test_offsets_validation(self, tmp_path):
+        with pytest.raises(ValidationError, match="offsets"):
+            small_scenario(tmp_path / "bad.npz",
+                           offsets=np.array([0, 20, 40]))
+
+    def test_non_scenario_archive_is_rejected(self, tmp_path):
+        path = tmp_path / "other.npz"
+        write_checkpoint(path, {"kind": "something-else"},
+                         {"X": np.zeros((2, 2))})
+        with pytest.raises(GoldenMismatchError, match="not a monitoring"):
+            load_scenario(path)
+
+    @pytest.mark.parametrize("section, mutate", [
+        ("timeline", lambda exp: exp["timeline"].append(
+            {"event": "alert", "kind": "inertia_regression",
+             "severity": "warning", "step": 99, "value": 1.0,
+             "baseline": 1.0, "threshold": 1.0, "message": "x"})),
+        ("fractions", lambda exp: exp["fractions"].__setitem__(0, 0.123)),
+        ("n_steps", lambda exp: exp.__setitem__("n_steps", 99)),
+    ])
+    def test_any_behavioral_delta_fails_typed(self, tmp_path, section,
+                                              mutate):
+        path = small_scenario(tmp_path / "tiny.npz")
+        header, arrays = read_checkpoint(path)
+        mutate(header["expected"])
+        header.pop("checksums")
+        header.pop("format_version")
+        write_checkpoint(path, header, dict(arrays))
+        with pytest.raises(GoldenMismatchError) as excinfo:
+            run_suite([path])
+        assert any(section in line for line in excinfo.value.mismatches)
+
+    def test_theta_delta_fails(self, tmp_path):
+        path = small_scenario(tmp_path / "tiny.npz")
+        header, arrays = read_checkpoint(path)
+        arrays = dict(arrays)
+        arrays["expected_theta_0"] = arrays["expected_theta_0"] + 1e-9
+        header.pop("checksums")
+        header.pop("format_version")
+        write_checkpoint(path, header, arrays)
+        with pytest.raises(GoldenMismatchError, match="theta_0"):
+            run_suite([path])
+
+    def test_report_written_even_on_failure(self, tmp_path):
+        path = small_scenario(tmp_path / "tiny.npz")
+        header, arrays = read_checkpoint(path)
+        header["expected"]["n_steps"] = 99
+        header.pop("checksums")
+        header.pop("format_version")
+        write_checkpoint(path, header, dict(arrays))
+        report_path = tmp_path / "report.json"
+        with pytest.raises(GoldenMismatchError):
+            run_suite([path], report_path=report_path)
+        report = json.loads(report_path.read_text())
+        assert report["status"] == "fail"
+        assert report["n_failed"] == 1
+
+    def test_empty_directory_is_typed(self, tmp_path):
+        with pytest.raises(ValidationError, match="no golden"):
+            run_suite(tmp_path)
+
+
+class TestCliMonitor:
+    def test_monitor_passes_on_committed_goldens(self, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        code = cli_main(["monitor", "--goldens", str(GOLDEN_DIR),
+                         "--report", str(report)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 golden scenario(s) replayed exactly" in out
+        assert json.loads(report.read_text())["status"] == "pass"
+
+    def test_monitor_fails_on_delta(self, tmp_path, capsys):
+        path = small_scenario(tmp_path / "tiny.npz")
+        header, arrays = read_checkpoint(path)
+        header["expected"]["n_steps"] = 99
+        header.pop("checksums")
+        header.pop("format_version")
+        write_checkpoint(path, header, dict(arrays))
+        report = tmp_path / "report.json"
+        code = cli_main(["monitor", "--goldens", str(tmp_path),
+                         "--report", str(report)])
+        assert code == 1
+        assert "behavioral delta" in capsys.readouterr().out
+        assert json.loads(report.read_text())["status"] == "fail"

@@ -1,0 +1,164 @@
+"""Property-based tests (hypothesis) for the streaming monitor stack.
+
+The exact-arithmetic properties run on small-integer data, where every
+float64 sum, mean and distance in the mini-batch step is exact — so the
+invariants can be asserted *bitwise*, not within a tolerance:
+
+* a batch of points lying exactly on representable centroids moves
+  nothing: zero shift, zero drift tables, zero inertia, on every replay;
+* the mini-batch update is permutation-invariant within a batch;
+* raising any engine tolerance can only shrink the set of
+  ``(step, kind)`` alerts (threshold monotonicity).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import MiniBatchKhatriRaoKMeans
+from repro.monitoring import DriftEngine
+from tests.test_monitoring_engine import make_stats
+
+cards_strategy = st.lists(st.integers(2, 3), min_size=2, max_size=2).map(tuple)
+
+
+def exact_model(cards, m, thetas_flat):
+    """A fitted-state model whose protocentroids are small integers.
+
+    ``_counts`` start at zero, so the first batch's learning rate is
+    exactly 1.0 — together with integer data this keeps every update
+    step exact in float64.
+    """
+    model = MiniBatchKhatriRaoKMeans(cards, random_state=0)
+    model.dtype_ = np.dtype(np.float64)
+    thetas, pos = [], 0
+    for h in cards:
+        block = np.array(thetas_flat[pos:pos + h * m], dtype=np.float64)
+        thetas.append(block.reshape(h, m))
+        pos += h * m
+    model.protocentroids_ = thetas
+    model._counts = [np.zeros(h) for h in cards]
+    return model
+
+
+def exact_batch(model, assignments):
+    """Batch whose rows sit exactly on the assigned centroids."""
+    cards = model.cardinalities
+    set_idx = np.unravel_index(np.asarray(assignments), cards)
+    return sum(
+        theta[idx] for theta, idx in zip(model.protocentroids_, set_idx)
+    )
+
+
+@st.composite
+def exact_scenario(draw):
+    cards = draw(cards_strategy)
+    m = draw(st.integers(1, 3))
+    n_theta = sum(cards) * m
+    thetas_flat = draw(st.lists(
+        st.integers(-8, 8), min_size=n_theta, max_size=n_theta
+    ))
+    n_clusters = int(np.prod(cards))
+    assignments = draw(st.lists(
+        st.integers(0, n_clusters - 1), min_size=4, max_size=12
+    ))
+    return cards, m, thetas_flat, assignments
+
+
+class TestZeroDriftOnExactBatches:
+    @given(exact_scenario(), st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_centroid_batches_move_nothing_on_every_replay(
+        self, scenario, use_index
+    ):
+        cards, m, thetas_flat, assignments = scenario
+        model = exact_model(cards, m, thetas_flat)
+        batch = exact_batch(model, assignments)
+        before = [theta.copy() for theta in model.protocentroids_]
+        index = (
+            np.arange(batch.shape[0], dtype=np.int64) if use_index else None
+        )
+        for _ in range(3):  # replaying the identical batch stays a no-op
+            model.partial_fit(batch, index=index)
+            stats = model.last_batch_stats_
+            assert stats.inertia == 0.0
+            assert stats.shift == 0.0
+            assert stats.max_drift == 0.0
+            assert all(np.all(table == 0.0) for table in stats.drift_norms)
+        for theta, orig in zip(model.protocentroids_, before):
+            assert theta.tobytes() == orig.tobytes()
+
+
+class TestPermutationInvariance:
+    @given(exact_scenario(), st.integers(0, 2 ** 31 - 1), st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_batch_row_order_is_irrelevant(self, scenario, perm_seed,
+                                           use_index):
+        cards, m, thetas_flat, assignments = scenario
+        # Perturb the batch off the centroids (still integers, still
+        # exact) so the update actually moves the protocentroids.
+        noise = np.arange(len(assignments))[:, None] % 3 - 1
+        perm = np.random.default_rng(perm_seed).permutation(len(assignments))
+
+        results = []
+        for order in (np.arange(len(assignments)), perm):
+            model = exact_model(cards, m, thetas_flat)
+            batch = (exact_batch(model, assignments) + noise)[order]
+            index = order.astype(np.int64) if use_index else None
+            model.partial_fit(batch, index=index)
+            results.append((model, model.last_batch_stats_, order))
+
+        (model_a, stats_a, order_a), (model_b, stats_b, order_b) = results
+        for theta_a, theta_b in zip(
+            model_a.protocentroids_, model_b.protocentroids_
+        ):
+            assert theta_a.tobytes() == theta_b.tobytes()
+        assert stats_a.inertia == stats_b.inertia
+        assert stats_a.shift == stats_b.shift
+        assert stats_a.reassignment_fraction == stats_b.reassignment_fraction
+        # Per-point labels match once both are put back in pool order.
+        labels_a = np.empty(len(order_a), dtype=np.int64)
+        labels_a[order_a] = stats_a.labels
+        labels_b = np.empty(len(order_b), dtype=np.int64)
+        labels_b[order_b] = stats_b.labels
+        assert np.array_equal(labels_a, labels_b)
+
+
+stats_sequence = st.lists(
+    st.tuples(
+        st.floats(0.0, 100.0, allow_nan=False),   # mean_inertia
+        st.floats(0.0, 1.0, allow_nan=False),     # reassignment fraction
+        st.floats(0.0, 10.0, allow_nan=False),    # drift
+    ),
+    min_size=3, max_size=20,
+)
+
+
+def alert_keys(tolerances, sequence):
+    engine = DriftEngine(warmup_steps=1, **tolerances)
+    keys = set()
+    for step, (inertia, fraction, drift) in enumerate(sequence, start=1):
+        for alert in engine.observe(make_stats(
+            step=step, mean_inertia=inertia, fraction=fraction, drift=drift
+        )):
+            keys.add((alert.step, alert.kind))
+    return keys
+
+
+class TestMonotoneThresholds:
+    @given(
+        stats_sequence,
+        st.floats(0.0, 2.0, allow_nan=False), st.floats(0.0, 2.0),
+        st.floats(0.0, 2.0, allow_nan=False), st.floats(0.0, 2.0),
+        st.floats(0.1, 1.0, allow_nan=False), st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_raising_any_tolerance_only_removes_alerts(
+        self, sequence, itol, d_itol, dtol, d_dtol, rthr, d_rthr
+    ):
+        strict = {"inertia_tolerance": itol, "drift_tolerance": dtol,
+                  "reassignment_threshold": rthr}
+        loose = {"inertia_tolerance": itol + d_itol,
+                 "drift_tolerance": dtol + d_dtol,
+                 "reassignment_threshold": rthr + d_rthr}
+        assert alert_keys(loose, sequence) <= alert_keys(strict, sequence)
